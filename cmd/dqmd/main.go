@@ -1,0 +1,121 @@
+// Command dqmd runs one site of a delay-optimal mutual exclusion cluster
+// over TCP. Start one process per site, give each the full address book,
+// and drive it interactively (acquire / release / quit on stdin) or with
+// -demo for an automated acquire/release loop.
+//
+// Example three-site cluster on one machine:
+//
+//	dqmd -id 0 -n 3 -listen :7100 -peers 1=localhost:7101,2=localhost:7102 -demo 5
+//	dqmd -id 1 -n 3 -listen :7101 -peers 0=localhost:7100,2=localhost:7102 -demo 5
+//	dqmd -id 2 -n 3 -listen :7102 -peers 0=localhost:7100,1=localhost:7101 -demo 5
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dqmx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dqmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.Int("id", 0, "this site's id (0..n-1)")
+		n       = flag.Int("n", 3, "total number of sites")
+		listen  = flag.String("listen", ":7100", "listen address for protocol traffic")
+		peersIn = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
+		quorum  = flag.String("quorum", "grid", "quorum construction: grid, tree, hqc, grid-set, rst, majority")
+		demo    = flag.Int("demo", 0, "acquire/release this many times and exit (0 = interactive)")
+		settle  = flag.Duration("settle", 2*time.Second, "wait before the demo starts so peers can come up")
+	)
+	flag.Parse()
+
+	peers := map[dqmx.SiteID]string{}
+	if *peersIn != "" {
+		for _, part := range strings.Split(*peersIn, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("bad -peers entry %q", part)
+			}
+			pid, err := strconv.Atoi(kv[0])
+			if err != nil {
+				return fmt.Errorf("bad peer id %q: %w", kv[0], err)
+			}
+			peers[dqmx.SiteID(pid)] = kv[1]
+		}
+	}
+
+	peer, err := dqmx.NewTCPNode(*n, dqmx.SiteID(*id), *listen, peers, dqmx.Options{Quorum: dqmx.Quorum(*quorum)})
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	fmt.Printf("site %d/%d listening on %s (quorum: %s)\n", *id, *n, peer.Addr(), *quorum)
+
+	if *demo > 0 {
+		time.Sleep(*settle)
+		return runDemo(peer, *id, *demo)
+	}
+	return runInteractive(peer, *id)
+}
+
+func runDemo(peer *dqmx.TCPPeer, id, rounds int) error {
+	node := peer.Node()
+	for k := 0; k < rounds; k++ {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err := node.Acquire(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("round %d acquire: %w", k, err)
+		}
+		fmt.Printf("site %d: entered CS (round %d, waited %v)\n", id, k, time.Since(start).Round(time.Millisecond))
+		time.Sleep(50 * time.Millisecond) // the critical section
+		node.Release()
+		fmt.Printf("site %d: exited CS (round %d)\n", id, k)
+	}
+	return nil
+}
+
+func runInteractive(peer *dqmx.TCPPeer, id int) error {
+	node := peer.Node()
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("commands: acquire | release | quit")
+	for {
+		fmt.Printf("site%d> ", id)
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		switch strings.TrimSpace(sc.Text()) {
+		case "acquire":
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			err := node.Acquire(ctx)
+			cancel()
+			if err != nil {
+				fmt.Println("acquire failed:", err)
+				continue
+			}
+			fmt.Println("in critical section")
+		case "release":
+			node.Release()
+			fmt.Println("released")
+		case "quit", "exit":
+			return nil
+		case "":
+		default:
+			fmt.Println("unknown command")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command dqmsim runs one mutual exclusion simulation and prints its
+// metrics in the paper's units.
+//
+// Usage:
+//
+//	dqmsim -alg delay-optimal -quorum tree -n 25 -load heavy -persite 10 \
+//	       -delay exp -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/harness"
+	"dqmx/internal/lamport"
+	"dqmx/internal/maekawa"
+	"dqmx/internal/metrics"
+	"dqmx/internal/mutex"
+	"dqmx/internal/raymond"
+	"dqmx/internal/ricartagrawala"
+	"dqmx/internal/sim"
+	"dqmx/internal/singhal"
+	"dqmx/internal/suzukikasami"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dqmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algName    = flag.String("alg", "delay-optimal", "algorithm: delay-optimal, maekawa, lamport, ricart-agrawala, singhal-dynamic, suzuki-kasami, raymond")
+		quorumName = flag.String("quorum", "grid", "coterie for quorum algorithms: grid, tree, hqc, grid-set, rst, majority, singleton")
+		n          = flag.Int("n", 25, "number of sites")
+		loadName   = flag.String("load", "heavy", "workload: light, heavy, think")
+		think      = flag.Int64("think", 10000, "mean think time for -load think")
+		perSite    = flag.Int("persite", 10, "CS executions per site (or total for light load)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		delayName  = flag.String("delay", "const", "delay distribution: const, uniform, exp")
+		meanDelay  = flag.Int64("T", 1000, "mean message delay T")
+		csTime     = flag.Int64("E", 10, "critical section execution time E")
+	)
+	flag.Parse()
+
+	cons, err := constructionByName(*quorumName)
+	if err != nil {
+		return err
+	}
+	alg, err := algorithmByName(*algName, cons)
+	if err != nil {
+		return err
+	}
+	var delay sim.Delay
+	switch *delayName {
+	case "const":
+		delay = sim.ConstantDelay{D: sim.Time(*meanDelay)}
+	case "uniform":
+		delay = sim.UniformDelay{Lo: sim.Time(*meanDelay / 2), Hi: sim.Time(3 * *meanDelay / 2)}
+	case "exp":
+		delay = sim.ExponentialDelay{MeanD: sim.Time(*meanDelay)}
+	default:
+		return fmt.Errorf("unknown delay distribution %q", *delayName)
+	}
+	var load harness.LoadKind
+	switch *loadName {
+	case "light":
+		load = harness.Light
+	case "heavy":
+		load = harness.Heavy
+	case "think":
+		load = harness.Think
+	default:
+		return fmt.Errorf("unknown load %q", *loadName)
+	}
+
+	res, err := harness.Run(harness.Spec{
+		N: *n, Algorithm: alg, Load: load, ThinkTime: sim.Time(*think),
+		PerSite: *perSite, Seed: *seed, Delay: delay, CSTime: sim.Time(*csTime),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm        %s\n", res.Algorithm)
+	fmt.Printf("sites            %d\n", res.N)
+	fmt.Printf("CS executions    %d\n", res.Completed)
+	fmt.Printf("messages total   %d\n", res.TotalMessages)
+	fmt.Printf("messages per CS  %.2f\n", res.MessagesPerCS)
+	fmt.Printf("sync delay       %.3f T (%d handovers)\n", res.SyncDelay, res.SyncDelaySamples)
+	fmt.Printf("response time    %.2f T\n", res.ResponseTime)
+	fmt.Printf("waiting time     %.2f T\n", res.WaitingTime)
+	fmt.Printf("throughput       %.3f CS per T\n\n", res.Throughput)
+
+	tab := metrics.NewTable("message kind", "count")
+	for _, kind := range []string{
+		mutex.KindRequest, mutex.KindReply, mutex.KindRelease, mutex.KindInquire,
+		mutex.KindFail, mutex.KindYield, mutex.KindTransfer, mutex.KindToken,
+	} {
+		if c := res.ByKind[kind]; c > 0 {
+			tab.AddRow(kind, c)
+		}
+	}
+	return tab.Render(os.Stdout)
+}
+
+func constructionByName(name string) (coterie.Construction, error) {
+	for _, c := range coterie.Constructions() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	switch name {
+	case "grid":
+		return coterie.Grid{}, nil
+	case "tree":
+		return coterie.Tree{}, nil
+	case "grid-set":
+		return coterie.GridSet{}, nil
+	case "rst":
+		return coterie.RST{}, nil
+	case "fpp":
+		return coterie.FPP{}, nil
+	case "wall", "crumbling-wall":
+		return coterie.Wall{}, nil
+	}
+	return nil, fmt.Errorf("unknown quorum construction %q", name)
+}
+
+func algorithmByName(name string, cons coterie.Construction) (mutex.Algorithm, error) {
+	switch name {
+	case "delay-optimal":
+		return core.Algorithm{Construction: cons}, nil
+	case "maekawa":
+		return maekawa.Algorithm{Construction: cons}, nil
+	case "lamport":
+		return lamport.Algorithm{}, nil
+	case "ricart-agrawala":
+		return ricartagrawala.Algorithm{}, nil
+	case "singhal-dynamic":
+		return singhal.Algorithm{}, nil
+	case "suzuki-kasami":
+		return suzukikasami.Algorithm{}, nil
+	case "raymond":
+		return raymond.Algorithm{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

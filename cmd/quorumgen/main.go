@@ -1,0 +1,123 @@
+// Command quorumgen prints the quorum assignment of a coterie construction,
+// optionally after excluding failed sites, together with size and validity
+// diagnostics.
+//
+// Usage:
+//
+//	quorumgen -q tree -n 15
+//	quorumgen -q tree -n 15 -down 0,3 -site 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/metrics"
+	"dqmx/internal/timestamp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quorumgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("q", "grid", "construction: maekawa-grid/grid, ae-tree/tree, hqc, grid-set, rst, majority, singleton")
+		n      = flag.Int("n", 9, "number of sites")
+		downs  = flag.String("down", "", "comma-separated failed sites")
+		site   = flag.Int("site", -1, "only print the quorum of this site")
+		checks = flag.Bool("check", true, "validate coterie properties")
+	)
+	flag.Parse()
+
+	cons, err := constructionByName(*name)
+	if err != nil {
+		return err
+	}
+	down := map[timestamp.SiteID]bool{}
+	if *downs != "" {
+		for _, part := range strings.Split(*downs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -down entry %q: %w", part, err)
+			}
+			down[timestamp.SiteID(id)] = true
+		}
+	}
+
+	if *site >= 0 {
+		q, err := cons.QuorumAvoiding(*n, timestamp.SiteID(*site), down)
+		if err != nil {
+			return fmt.Errorf("site %d: %w", *site, err)
+		}
+		fmt.Printf("%s n=%d site=%d quorum=%v (size %d)\n", cons.Name(), *n, *site, q, len(q))
+		return nil
+	}
+
+	if len(down) > 0 {
+		tab := metrics.NewTable("site", "quorum (avoiding failures)", "size")
+		for i := 0; i < *n; i++ {
+			if down[timestamp.SiteID(i)] {
+				tab.AddRow(i, "(failed)", "-")
+				continue
+			}
+			q, err := cons.QuorumAvoiding(*n, timestamp.SiteID(i), down)
+			if err != nil {
+				tab.AddRow(i, "UNAVAILABLE", "-")
+				continue
+			}
+			tab.AddRow(i, q.String(), len(q))
+		}
+		return tab.Render(os.Stdout)
+	}
+
+	assign, err := cons.Assign(*n)
+	if err != nil {
+		return err
+	}
+	if *checks {
+		if err := assign.Validate(); err != nil {
+			return fmt.Errorf("coterie invalid: %w", err)
+		}
+		fmt.Printf("# intersection property: OK; avg K = %.2f, max K = %d\n",
+			assign.AvgQuorumSize(), assign.MaxQuorumSize())
+	}
+	tab := metrics.NewTable("site", "quorum", "size")
+	for i := 0; i < *n; i++ {
+		q := assign.Quorum(timestamp.SiteID(i))
+		tab.AddRow(i, q.String(), len(q))
+	}
+	return tab.Render(os.Stdout)
+}
+
+func constructionByName(name string) (coterie.Construction, error) {
+	switch name {
+	case "grid", "maekawa-grid":
+		return coterie.Grid{}, nil
+	case "tree", "ae-tree":
+		return coterie.Tree{}, nil
+	case "hqc":
+		return coterie.HQC{}, nil
+	case "grid-set":
+		return coterie.GridSet{}, nil
+	case "rst":
+		return coterie.RST{}, nil
+	case "fpp":
+		return coterie.FPP{}, nil
+	case "wall", "crumbling-wall":
+		return coterie.Wall{}, nil
+	case "majority":
+		return coterie.Majority{}, nil
+	case "singleton":
+		return coterie.Singleton{}, nil
+	default:
+		return nil, fmt.Errorf("unknown construction %q", name)
+	}
+}

@@ -1,0 +1,342 @@
+// Package dqmx is a delay-optimal quorum-based distributed mutual exclusion
+// library, reproducing Cao, Singhal, Deng, Rishe & Sun, "A Delay-Optimal
+// Quorum-Based Mutual Exclusion Scheme with Fault-Tolerance Capability"
+// (ICDCS 1998).
+//
+// The core protocol locks a quorum of arbiter sites to enter the critical
+// section, like Maekawa's algorithm, but a site exiting the critical section
+// forwards each arbiter's permission directly to the next requester instead
+// of routing it back through the arbiter. That cuts the synchronization
+// delay — the time between one site's exit and the next site's entry — from
+// 2T to the provable minimum of one message delay T, while the message cost
+// stays between 3(K−1) and 6(K−1) per execution (K = quorum size: √N for
+// grid quorums, as low as log N for tree quorums).
+//
+// # Quick start
+//
+//	cluster, err := dqmx.NewCluster(9)         // nine sites in one process
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	node := cluster.Node(3)                    // act as site 3
+//	if err := node.Acquire(ctx); err != nil { ... }
+//	// ... critical section ...
+//	node.Release()
+//
+// Use Options to pick a quorum construction (grid, tree, HQC, grid-set,
+// RST, majority) or one of the six baseline algorithms, and NewTCPNode to
+// spread sites across processes or machines. The Simulate function runs the
+// deterministic discrete-event simulator used to reproduce the paper's
+// evaluation; the cmd/benchtab tool regenerates every table.
+package dqmx
+
+import (
+	"fmt"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/harness"
+	"dqmx/internal/lamport"
+	"dqmx/internal/maekawa"
+	"dqmx/internal/mutex"
+	"dqmx/internal/raymond"
+	"dqmx/internal/ricartagrawala"
+	"dqmx/internal/sim"
+	"dqmx/internal/singhal"
+	"dqmx/internal/suzukikasami"
+	"dqmx/internal/transport"
+	"dqmx/internal/workload"
+)
+
+// SiteID identifies a site (0..N-1).
+type SiteID = mutex.SiteID
+
+// Node hosts one site and exposes blocking Acquire/Release.
+type Node = transport.Node
+
+// TCPPeer hosts one site communicating over TCP.
+type TCPPeer = transport.TCPPeer
+
+// Quorum names a quorum construction.
+type Quorum string
+
+// Quorum constructions (§6 of the paper).
+const (
+	// GridQuorums are Maekawa grids: K ≈ 2√N−1, the default.
+	GridQuorums Quorum = "grid"
+	// TreeQuorums are Agrawal–El Abbadi tree paths: K as low as log N, with
+	// graceful degradation under failures.
+	TreeQuorums Quorum = "tree"
+	// HQCQuorums use Hierarchical Quorum Consensus: K ≈ N^0.63.
+	HQCQuorums Quorum = "hqc"
+	// GridSetQuorums take a majority of groups with a grid inside each.
+	GridSetQuorums Quorum = "grid-set"
+	// RSTQuorums (Rangarajan–Setia–Tripathi) take grid-of-subgroups with a
+	// majority inside each — failures inside a subgroup are masked without
+	// reconstruction.
+	RSTQuorums Quorum = "rst"
+	// WallQuorums are crumbling walls (Peleg–Wool): one full row plus a
+	// representative per lower row, K = O(√N), graceful degradation.
+	WallQuorums Quorum = "wall"
+	// MajorityQuorums need ⌊N/2⌋+1 sites: maximal resiliency, O(N) cost.
+	MajorityQuorums Quorum = "majority"
+)
+
+// Protocol names a mutual exclusion algorithm.
+type Protocol string
+
+// Available protocols: the paper's contribution plus the six baselines it
+// compares against.
+const (
+	// DelayOptimal is the paper's contribution (delay T).
+	DelayOptimal Protocol = "delay-optimal"
+	// Maekawa is the classic quorum algorithm (delay 2T).
+	Maekawa Protocol = "maekawa"
+	// Lamport is the timestamp-broadcast algorithm: 3(N−1) messages.
+	Lamport Protocol = "lamport"
+	// RicartAgrawala merges releases into deferred replies: 2(N−1) messages.
+	RicartAgrawala Protocol = "ricart-agrawala"
+	// SinghalDynamic uses dynamic request/inform sets: N−1..2(N−1) messages.
+	SinghalDynamic Protocol = "singhal-dynamic"
+	// SuzukiKasami is the broadcast-token algorithm: 0..N messages.
+	SuzukiKasami Protocol = "suzuki-kasami"
+	// Raymond is the tree-token algorithm: O(log N) messages, long delay.
+	Raymond Protocol = "raymond"
+)
+
+// Options configures a cluster or simulation.
+type Options struct {
+	// Protocol defaults to DelayOptimal.
+	Protocol Protocol
+	// Quorum selects the coterie for quorum-based protocols (default
+	// GridQuorums). Ignored by the non-quorum baselines.
+	Quorum Quorum
+	// DisableRecovery turns off the §6 failure recovery of the
+	// delay-optimal protocol.
+	DisableRecovery bool
+}
+
+// Construction returns the coterie construction named by q.
+func (q Quorum) construction() (coterie.Construction, error) {
+	switch q {
+	case "", GridQuorums:
+		return coterie.Grid{}, nil
+	case TreeQuorums:
+		return coterie.Tree{}, nil
+	case HQCQuorums:
+		return coterie.HQC{}, nil
+	case GridSetQuorums:
+		return coterie.GridSet{}, nil
+	case RSTQuorums:
+		return coterie.RST{}, nil
+	case WallQuorums:
+		return coterie.Wall{}, nil
+	case MajorityQuorums:
+		return coterie.Majority{}, nil
+	default:
+		return nil, fmt.Errorf("dqmx: unknown quorum construction %q", q)
+	}
+}
+
+// algorithm materializes the options into a protocol implementation.
+func (o Options) algorithm() (mutex.Algorithm, error) {
+	cons, err := o.Quorum.construction()
+	if err != nil {
+		return nil, err
+	}
+	switch o.Protocol {
+	case "", DelayOptimal:
+		return core.Algorithm{Construction: cons, DisableRecovery: o.DisableRecovery}, nil
+	case Maekawa:
+		return maekawa.Algorithm{Construction: cons}, nil
+	case Lamport:
+		return lamport.Algorithm{}, nil
+	case RicartAgrawala:
+		return ricartagrawala.Algorithm{}, nil
+	case SinghalDynamic:
+		return singhal.Algorithm{}, nil
+	case SuzukiKasami:
+		return suzukikasami.Algorithm{}, nil
+	case Raymond:
+		return raymond.Algorithm{}, nil
+	default:
+		return nil, fmt.Errorf("dqmx: unknown protocol %q", o.Protocol)
+	}
+}
+
+// Cluster hosts all N sites in one process.
+type Cluster struct {
+	inner *transport.Cluster
+}
+
+// NewCluster starts an in-process cluster of n sites running the
+// delay-optimal protocol over grid quorums. Use NewClusterWith for other
+// protocols or coteries.
+func NewCluster(n int) (*Cluster, error) {
+	return NewClusterWith(n, Options{})
+}
+
+// NewClusterWith starts an in-process cluster with explicit options.
+func NewClusterWith(n int, opts Options) (*Cluster, error) {
+	alg, err := opts.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := transport.NewCluster(alg, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Node returns the handle for one site.
+func (c *Cluster) Node(id SiteID) *Node { return c.inner.Node(id) }
+
+// N returns the number of sites.
+func (c *Cluster) N() int { return c.inner.N() }
+
+// Close shuts every site down.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// NewTCPNode starts site id of an n-site delay-optimal cluster whose sites
+// communicate over TCP. peers maps every other site to its listen address.
+func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, opts Options) (*TCPPeer, error) {
+	alg, err := opts.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	sites, err := alg.NewSites(n)
+	if err != nil {
+		return nil, err
+	}
+	if int(id) < 0 || int(id) >= n {
+		return nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
+	}
+	core.RegisterGobMessages()
+	return transport.NewTCPPeer(sites[id], listenAddr, peers)
+}
+
+// SimulationResult reports the metrics of one simulated run in the paper's
+// units (message counts per CS execution, delays in multiples of the mean
+// message delay T).
+type SimulationResult struct {
+	Algorithm      string
+	N              int
+	Completed      int
+	MessagesPerCS  float64
+	ByKind         map[string]uint64
+	SyncDelayT     float64
+	ResponseT      float64
+	WaitingT       float64
+	ThroughputPerT float64
+}
+
+// LoadShape selects the workload of a simulation.
+type LoadShape int
+
+// Workload shapes for Simulate.
+const (
+	// LightLoad issues uncontended sequential requests (§5.1).
+	LightLoad LoadShape = iota + 1
+	// HeavyLoad saturates every site (§5.2).
+	HeavyLoad
+)
+
+// Simulate runs the deterministic discrete-event simulator for perSite CS
+// executions per site and returns the measured metrics. It is the
+// programmatic face of the paper's evaluation harness.
+func Simulate(n int, opts Options, load LoadShape, perSite int, seed int64) (SimulationResult, error) {
+	alg, err := opts.algorithm()
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	kind := harness.Heavy
+	if load == LightLoad {
+		kind = harness.Light
+	}
+	res, err := harness.Run(harness.Spec{
+		N: n, Algorithm: alg, Load: kind, PerSite: perSite, Seed: seed,
+	})
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return SimulationResult{
+		Algorithm:      res.Algorithm,
+		N:              res.N,
+		Completed:      res.Completed,
+		MessagesPerCS:  res.MessagesPerCS,
+		ByKind:         res.ByKind,
+		SyncDelayT:     res.SyncDelay,
+		ResponseT:      res.ResponseTime,
+		WaitingT:       res.WaitingTime,
+		ThroughputPerT: res.Throughput,
+	}, nil
+}
+
+// CrashEvent schedules a site crash during a simulation, in units of the
+// mean message delay T after the start.
+type CrashEvent struct {
+	AtT  float64
+	Site SiteID
+}
+
+// SimulateWithCrashes runs a saturated simulation and crashes the given
+// sites at the given times. Crashed sites are announced to the survivors
+// after a failure-detection delay and the §6 recovery protocol rebuilds the
+// affected quorums. It returns the metrics of the surviving executions.
+func SimulateWithCrashes(n int, opts Options, perSite int, crashes []CrashEvent, seed int64) (SimulationResult, error) {
+	alg, err := opts.algorithm()
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	const meanDelay = sim.Time(1000)
+	cluster, err := sim.NewCluster(sim.Config{
+		N: n, Algorithm: alg, Delay: sim.ConstantDelay{D: meanDelay}, Seed: seed, CSTime: 10,
+	})
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	workloadSaturated(cluster, perSite)
+	for _, ce := range crashes {
+		cluster.CrashAt(sim.Time(ce.AtT*float64(meanDelay)), ce.Site)
+	}
+	cluster.Run(0)
+	if err := cluster.Err(); err != nil {
+		return SimulationResult{}, err
+	}
+	res := cluster.Summarize()
+	return SimulationResult{
+		Algorithm:      res.Algorithm,
+		N:              res.N,
+		Completed:      res.Completed,
+		MessagesPerCS:  res.MessagesPerCS,
+		ByKind:         res.ByKind,
+		SyncDelayT:     res.SyncDelay,
+		ResponseT:      res.ResponseTime,
+		WaitingT:       res.WaitingTime,
+		ThroughputPerT: res.Throughput,
+	}, nil
+}
+
+// QuorumOf returns the quorum (req_set) the construction assigns to site id
+// in an n-site system — useful for inspecting deployments.
+func QuorumOf(q Quorum, n int, id SiteID) ([]SiteID, error) {
+	cons, err := q.construction()
+	if err != nil {
+		return nil, err
+	}
+	assign, err := cons.Assign(n)
+	if err != nil {
+		return nil, err
+	}
+	quorum := assign.Quorum(id)
+	out := make([]SiteID, len(quorum))
+	copy(out, quorum)
+	return out, nil
+}
+
+// workloadSaturated applies the heavy-load closed loop (kept here to avoid
+// exporting the sim hook types through the facade).
+func workloadSaturated(c *sim.Cluster, perSite int) {
+	workload.Saturated(c, perSite)
+}

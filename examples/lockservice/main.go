@@ -1,0 +1,122 @@
+// Lock service: embeds the distributed mutex behind a tiny HTTP API — the
+// shape of a production lock manager. Each HTTP worker acts as one site of
+// the cluster; POST /lock blocks until the caller holds the global lock and
+// returns a fencing token, POST /unlock releases it. The demo drives the API
+// with concurrent clients and verifies the fencing tokens are strictly
+// monotonic (no two holders ever overlapped).
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dqmx"
+)
+
+// lockServer exposes one site of the cluster over HTTP.
+type lockServer struct {
+	node  *dqmx.Node
+	mu    sync.Mutex // local guard for the fencing counter
+	fence *int64     // shared across servers: only touched while holding the distributed lock
+}
+
+func (s *lockServer) handleLock(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	if err := s.node.Acquire(ctx); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	// Critical section: mint the next fencing token. The distributed mutex,
+	// not the local one, is what makes this safe across servers.
+	*s.fence++
+	fmt.Fprintf(w, "%d", *s.fence)
+}
+
+func (s *lockServer) handleUnlock(w http.ResponseWriter, r *http.Request) {
+	s.node.Release()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const sites = 5
+	cluster, err := dqmx.NewClusterWith(sites, dqmx.Options{Quorum: dqmx.TreeQuorums})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	var fence int64
+	servers := make([]*httptest.Server, sites)
+	for i := 0; i < sites; i++ {
+		ls := &lockServer{node: cluster.Node(dqmx.SiteID(i)), fence: &fence}
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /lock", ls.handleLock)
+		mux.HandleFunc("POST /unlock", ls.handleUnlock)
+		servers[i] = httptest.NewServer(mux)
+		defer servers[i].Close()
+	}
+
+	// Concurrent clients hammer different servers; each collects the fencing
+	// tokens it was issued.
+	const perClient = 8
+	tokens := make(chan int64, sites*perClient)
+	var wg sync.WaitGroup
+	for i := 0; i < sites; i++ {
+		base := servers[i].URL
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				resp, err := http.Post(base+"/lock", "", nil)
+				if err != nil {
+					log.Printf("lock: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				tok, err := strconv.ParseInt(string(body), 10, 64)
+				if err != nil {
+					log.Printf("bad token %q", body)
+					return
+				}
+				tokens <- tok
+				if _, err := http.Post(base+"/unlock", "", nil); err != nil {
+					log.Printf("unlock: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(tokens)
+
+	var got []int64
+	for tok := range tokens {
+		got = append(got, tok)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range got {
+		if got[i] != int64(i+1) {
+			return fmt.Errorf("fencing tokens corrupted at %d: %v", i, got[:i+1])
+		}
+	}
+	fmt.Printf("issued %d fencing tokens across %d HTTP servers: strictly monotonic, none lost\n",
+		len(got), sites)
+	fmt.Println("the distributed mutex serialized every /lock across the cluster")
+	return nil
+}

@@ -1,0 +1,3 @@
+module dqmx
+
+go 1.23

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+// TestChaos subjects the protocol to randomized combinations of heavy load,
+// exponential delays, site crashes, and link cuts, asserting safety on every
+// entry and progress for every surviving site. Crash/cut targets are chosen
+// so tree quorums always retain substitution paths (we are testing the
+// protocol, not exhausting the coterie).
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	const n = 15
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		c, err := sim.NewCluster(sim.Config{
+			N:         n,
+			Algorithm: core.Algorithm{Construction: coterie.Tree{}},
+			Delay:     sim.ExponentialDelay{MeanD: 1000},
+			Seed:      seed,
+			CSTime:    sim.Time(1 + rng.Intn(200)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Saturated(c, 3)
+
+		// Crash at most one leaf (keeps every inner node's subtree usable).
+		crashed := map[mutex.SiteID]bool{}
+		if rng.Intn(2) == 0 {
+			victim := mutex.SiteID(7 + rng.Intn(8)) // leaves of the 15-node tree
+			crashed[victim] = true
+			c.CrashAt(sim.Time(rng.Intn(20000)), victim)
+		}
+		// Cut up to two random links between distinct live sites.
+		for k := 0; k < rng.Intn(3); k++ {
+			a := mutex.SiteID(rng.Intn(n))
+			b := mutex.SiteID(rng.Intn(n))
+			if a != b && !crashed[a] && !crashed[b] {
+				c.CutLinkAt(sim.Time(rng.Intn(20000)), a, b)
+			}
+		}
+
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Every surviving site must have completed all of its executions,
+		// except executions a crashed site could not issue.
+		perSite := map[mutex.SiteID]int{}
+		for _, r := range c.Records() {
+			perSite[r.Site]++
+		}
+		for i := 0; i < n; i++ {
+			s := mutex.SiteID(i)
+			if crashed[s] {
+				continue
+			}
+			if perSite[s] != 3 {
+				t.Errorf("seed %d: surviving site %d completed %d of 3", seed, s, perSite[s])
+			}
+		}
+	}
+}

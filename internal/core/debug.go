@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dqmx/internal/mutex"
+)
+
+// HoldsPermissionOf reports whether the site currently counts arb's
+// permission toward its entry condition (replied[arb] = 1). Used by the
+// permission-exclusivity invariant checker in tests.
+func (s *Site) HoldsPermissionOf(arb mutex.SiteID) bool {
+	return s.replied[arb]
+}
+
+// DebugState renders a site's full protocol state for diagnostics and test
+// failure reports. It accepts a mutex.Site so drivers can call it without
+// knowing the concrete type; non-core sites yield a short placeholder.
+func DebugState(ms mutex.Site) string {
+	s, ok := ms.(*Site)
+	if !ok {
+		return fmt.Sprintf("site %d: (not a core site)", ms.ID())
+	}
+	repliedOf := make([]mutex.SiteID, 0, len(s.replied))
+	for a, ok := range s.replied {
+		if ok {
+			repliedOf = append(repliedOf, a)
+		}
+	}
+	sort.Slice(repliedOf, func(i, j int) bool { return repliedOf[i] < repliedOf[j] })
+	deferred := make([]mutex.SiteID, 0, len(s.inqDeferred))
+	for a := range s.inqDeferred {
+		deferred = append(deferred, a)
+	}
+	sort.Slice(deferred, func(i, j int) bool { return deferred[i] < deferred[j] })
+	return fmt.Sprintf(
+		"%v req=%v failed=%v replied=%v quorum=%v inqDef=%v stack=%v | lock=%v queue=%v inquired=%v lastTr=%v",
+		s.state, s.reqTS, s.failed, repliedOf, s.quorum, deferred, s.tranStack,
+		s.lock, s.queue.items, s.inquired, s.lastTransfer)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// SiteFailed implements the §6 recovery protocol. On a failure(f)
+// notification the site:
+//
+//  1. (arbiter half) purges f's request from its queue — regranting or
+//     re-arming the handoff when f was the head or the lock holder;
+//  2. (requester half) voids transfers issued by or targeting f; and
+//  3. when f is in its quorum and a fault-tolerant construction is
+//     configured, rebuilds the quorum around the failure: arbiters leaving
+//     the quorum receive a withdrawal/release, new arbiters receive the
+//     original request (same timestamp, so priority is preserved).
+//
+// Without a construction the request simply keeps waiting — shrinking a
+// quorum ad hoc would break the Intersection property and with it mutual
+// exclusion.
+func (s *Site) SiteFailed(f mutex.SiteID) mutex.Output {
+	var out mutex.Output
+	if f == s.id || s.failedSites[f] {
+		return out
+	}
+	s.failedSites[f] = true
+
+	s.arbiterPurge(f, &out)
+	s.requesterPurge(f, &out)
+
+	if s.quorum.Contains(f) {
+		s.rebuildQuorum(f, &out)
+	}
+	return out
+}
+
+// arbiterPurge removes every trace of the failed site from the arbiter half
+// (the paper's Cases 1 and 3 of the recovery actions).
+func (s *Site) arbiterPurge(f mutex.SiteID, out *mutex.Output) {
+	s.queue.RemoveSite(f)
+	if !s.lock.IsMax() && s.lock.Site == f {
+		// The failed site held our permission: grant the next request
+		// directly, piggybacking a transfer for the one after it.
+		if s.queue.Empty() {
+			s.lock = timestamp.Max
+			s.resetLockGen()
+		} else {
+			s.grantNext(out)
+		}
+		return
+	}
+	// The head may have changed; make sure the holder learns the new head.
+	s.ensureHandoff(out)
+}
+
+// requesterPurge voids state that references the failed site (Case 2).
+func (s *Site) requesterPurge(f mutex.SiteID, _ *mutex.Output) {
+	if s.state == stateIdle {
+		return
+	}
+	kept := s.tranStack[:0]
+	for _, e := range s.tranStack {
+		if e.Arbiter != f && e.TargetTS.Site != f {
+			kept = append(kept, e)
+		}
+	}
+	s.tranStack = kept
+	if s.pendTransfers != nil {
+		delete(s.pendTransfers, f)
+	}
+	if s.inqDeferred != nil {
+		delete(s.inqDeferred, f)
+	}
+}
+
+// rebuildQuorum swaps the site onto a quorum that avoids all known-failed
+// sites, withdrawing from arbiters that leave the quorum and requesting from
+// the ones that join. When no live quorum exists the old quorum is kept and
+// the request blocks — safety over progress.
+func (s *Site) rebuildQuorum(f mutex.SiteID, out *mutex.Output) {
+	if s.cons == nil {
+		return
+	}
+	newQ, err := s.cons.QuorumAvoiding(s.n, s.id, s.failedSites)
+	if err != nil {
+		return // no live quorum; keep waiting
+	}
+	old := s.quorum
+	s.quorum = newQ
+
+	if s.state == stateIdle {
+		return
+	}
+	if s.state == stateInCS {
+		// Keep the held quorum for the current CS; the new quorum takes
+		// effect for the next request (Exit releases the old members).
+		s.quorum = old
+		s.nextQuorum = newQ
+		return
+	}
+	// Waiting: reconcile memberships.
+	for _, a := range old {
+		if a == f || newQ.Contains(a) || s.failedSites[a] {
+			continue
+		}
+		// Leaving arbiter: withdraw our request (frees its lock or queue
+		// slot) and void its transfers.
+		out.SendTo(s.id, a, releaseMsg{ReqTS: s.reqTS, Fwd: timestamp.None, Withdraw: true})
+		delete(s.replied, a)
+		s.dropTransfersFrom(a)
+		delete(s.inqDeferred, a)
+	}
+	for _, a := range newQ {
+		if !old.Contains(a) {
+			out.SendTo(s.id, a, requestMsg{TS: s.reqTS})
+		}
+	}
+	s.checkEntry(out)
+}

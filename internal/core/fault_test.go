@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+// newFaultCluster builds a cluster with tree quorums (the fault-tolerant
+// construction the paper highlights) and the given recovery setting.
+func newFaultCluster(t *testing.T, n int, seed int64, disableRecovery bool) *sim.Cluster {
+	t.Helper()
+	c, err := sim.NewCluster(sim.Config{
+		N:         n,
+		Algorithm: core.Algorithm{Construction: coterie.Tree{}, DisableRecovery: disableRecovery},
+		Delay:     sim.ConstantDelay{D: meanDelay},
+		Seed:      seed,
+		CSTime:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCrashIdleSiteOthersProceed: crashing a quorum member mid-run must not
+// block the survivors when recovery is enabled.
+func TestCrashIdleSiteOthersProceed(t *testing.T) {
+	n := 15
+	c := newFaultCluster(t, n, 1, false)
+	// Crash a mid-tree arbiter early; with tree quorums the survivors can
+	// substitute paths through its children.
+	crashed := mutex.SiteID(1)
+	c.CrashAt(10, crashed)
+	for i := 0; i < n; i++ {
+		if s := mutex.SiteID(i); s != crashed {
+			c.RequestAt(sim.Time(100), s)
+		}
+	}
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("survivors blocked: %v", err)
+	}
+	if got, want := c.Completed(), n-1; got != want {
+		t.Fatalf("completed %d of %d", got, want)
+	}
+}
+
+// TestCrashRootOfTree: the tree root is in every default quorum; recovery
+// must rebuild all of them.
+func TestCrashRootOfTree(t *testing.T) {
+	n := 15
+	c := newFaultCluster(t, n, 2, false)
+	c.CrashAt(10, 0)
+	for i := 1; i < n; i++ {
+		c.RequestAt(sim.Time(100), mutex.SiteID(i))
+	}
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("survivors blocked after root crash: %v", err)
+	}
+	if got, want := c.Completed(), n-1; got != want {
+		t.Fatalf("completed %d of %d", got, want)
+	}
+}
+
+// TestCrashWhileRequestsInFlight: the crash lands in the middle of a
+// saturated run; every surviving request must still complete.
+func TestCrashWhileRequestsInFlight(t *testing.T) {
+	n := 15
+	for seed := int64(1); seed <= 8; seed++ {
+		c := newFaultCluster(t, n, seed, false)
+		workload.Saturated(c, 3)
+		crashed := mutex.SiteID(2)
+		c.CrashAt(1500, crashed) // mid-handshake
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestCrashLockHolderInCS: the site crashes while holding the critical
+// section; its arbiters must re-grant to the waiters.
+func TestCrashLockHolderInCS(t *testing.T) {
+	n := 15
+	c := newFaultCluster(t, n, 3, false)
+	workload.Saturated(c, 2)
+	// With constant delays the first entrant is site 0 (self-grants at t=0
+	// beat network requests); crash it shortly after everyone requested.
+	c.CrashAt(5, 0)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if c.Completed() == 0 {
+		t.Fatal("no survivor completed")
+	}
+}
+
+// TestWithoutRecoveryRequestsBlock: with recovery disabled, a crashed quorum
+// member honestly blocks its dependents (shrinking quorums ad hoc would
+// break the intersection property).
+func TestWithoutRecoveryRequestsBlock(t *testing.T) {
+	n := 7
+	c := newFaultCluster(t, n, 4, true)
+	c.CrashAt(0, 0) // root: in every tree quorum
+	for i := 1; i < n; i++ {
+		c.RequestAt(100, mutex.SiteID(i))
+	}
+	c.Run(0)
+	if err := c.Err(); !errors.Is(err, sim.ErrStarvation) {
+		t.Fatalf("err = %v, want starvation (recovery disabled)", err)
+	}
+}
+
+// TestCascadingCrashes: several crashes in sequence; tree quorums degrade
+// but survive as long as substitution paths exist.
+func TestCascadingCrashes(t *testing.T) {
+	n := 15
+	c := newFaultCluster(t, n, 5, false)
+	workload.Saturated(c, 3)
+	c.CrashAt(2000, 1)
+	c.CrashAt(20000, 2)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+// TestRecoveryMessagesCounted: the failure announcement itself shows up in
+// the accounting as KindFailure messages.
+func TestRecoveryMessagesCounted(t *testing.T) {
+	n := 15
+	c := newFaultCluster(t, n, 6, false)
+	c.CrashAt(10, 3)
+	c.RequestAt(100000, 5) // after detection settles
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// One notification per survivor, minus the detector's own (self
+	// deliveries are not network messages).
+	if got := c.Net.CountByKind()[mutex.KindFailure]; got != uint64(n-2) {
+		t.Errorf("failure notifications = %d, want %d", got, n-2)
+	}
+}
+
+// TestGridRecovery: recovery also works over grid quorums when a live
+// row/column substitution exists.
+func TestGridRecovery(t *testing.T) {
+	n := 16
+	c, err := sim.NewCluster(sim.Config{
+		N:         n,
+		Algorithm: core.Algorithm{Construction: coterie.Grid{}},
+		Delay:     sim.ConstantDelay{D: meanDelay},
+		Seed:      7,
+		CSTime:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, 2)
+	c.CrashAt(1500, 5)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

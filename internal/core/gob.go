@@ -1,0 +1,16 @@
+package core
+
+import "encoding/gob"
+
+// RegisterGobMessages registers the protocol's wire messages with
+// encoding/gob so mutex.Envelope values can cross a real network (see
+// internal/transport). Safe to call multiple times.
+func RegisterGobMessages() {
+	gob.Register(requestMsg{})
+	gob.Register(replyMsg{})
+	gob.Register(releaseMsg{})
+	gob.Register(inquireMsg{})
+	gob.Register(failMsg{})
+	gob.Register(yieldMsg{})
+	gob.Register(transferMsg{})
+}

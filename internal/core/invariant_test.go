@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"dqmx/internal/core"
+	"dqmx/internal/mutex"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+// TestPermissionExclusivityInvariant checks, after *every* message delivery
+// of a contended run, that no arbiter's permission is counted by two sites
+// simultaneously — the per-arbiter mutual exclusion that underlies Theorem 1
+// (two CS entrants would need the same arbiter's permission at once).
+func TestPermissionExclusivityInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c, err := sim.NewCluster(sim.Config{
+			N: 13, Algorithm: core.Algorithm{}, Delay: sim.ExponentialDelay{MeanD: 1000},
+			Seed: seed, CSTime: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		violations := 0
+		c.Net.Trace = func(at sim.Time, env mutex.Envelope) {
+			// The invariant must hold between any two deliveries.
+			holders := make(map[mutex.SiteID]mutex.SiteID) // arbiter → holder
+			for _, ms := range c.Sites {
+				s := ms.(*core.Site)
+				for arb := 0; arb < 13; arb++ {
+					a := mutex.SiteID(arb)
+					if s.HoldsPermissionOf(a) {
+						if prev, dup := holders[a]; dup {
+							violations++
+							t.Errorf("t=%d: arbiter %d held by both %d and %d", at, a, prev, s.ID())
+						}
+						holders[a] = s.ID()
+					}
+				}
+			}
+		}
+		workload.Saturated(c, 3)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if violations > 0 {
+			t.Fatalf("seed %d: %d permission-exclusivity violations", seed, violations)
+		}
+	}
+}

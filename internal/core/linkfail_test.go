@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+// Communication-link failure tests: the paper claims the redundancy in
+// fault-tolerant quorums also buys resiliency to link failures. Each
+// endpoint of a severed link locally suspects the other and reroutes its
+// quorum; cross-view quorum intersection keeps mutual exclusion safe even
+// though the "failed" site is actually alive.
+
+func newLinkCluster(t *testing.T, n int, seed int64, cons coterie.Construction) *sim.Cluster {
+	t.Helper()
+	c, err := sim.NewCluster(sim.Config{
+		N:         n,
+		Algorithm: core.Algorithm{Construction: cons},
+		Delay:     sim.ConstantDelay{D: meanDelay},
+		Seed:      seed,
+		CSTime:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLinkFailureTreeQuorums: cut a quorum-relevant link mid-run; everyone
+// still completes and safety holds.
+func TestLinkFailureTreeQuorums(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c := newLinkCluster(t, 15, seed, coterie.Tree{})
+		workload.Saturated(c, 3)
+		// Site 7's tree quorum includes inner node 1 and the root 0; cut
+		// 7's access to 1 mid-run.
+		c.CutLinkAt(1500, 7, 1)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got, want := c.Completed(), 15*3; got != want {
+			t.Fatalf("seed %d: completed %d of %d", seed, got, want)
+		}
+	}
+}
+
+// TestLinkFailureGridQuorums: grids reroute through another row/column.
+func TestLinkFailureGridQuorums(t *testing.T) {
+	c := newLinkCluster(t, 16, 3, coterie.Grid{})
+	workload.Saturated(c, 3)
+	c.CutLinkAt(2500, 5, 6)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultipleLinkFailures: several cuts, still safe and live while
+// substitute quorums exist.
+func TestMultipleLinkFailures(t *testing.T) {
+	c := newLinkCluster(t, 15, 9, coterie.Tree{})
+	workload.Saturated(c, 3)
+	c.CutLinkAt(1000, 3, 1)
+	c.CutLinkAt(5000, 9, 4)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkFailureBothSidesStillRun: the suspected site is alive — it must
+// keep completing its own CS executions through its rerouted quorum.
+func TestLinkFailureBothSidesStillRun(t *testing.T) {
+	c := newLinkCluster(t, 15, 4, coterie.Tree{})
+	c.CutLinkAt(0, 7, 1)
+	// Request after the suspicion settles so both endpoints have rerouted.
+	for i := 0; i < 15; i++ {
+		c.RequestAt(20000, mutex.SiteID(i))
+	}
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Completed() != 15 {
+		t.Fatalf("completed %d of 15", c.Completed())
+	}
+}

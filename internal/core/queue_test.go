@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dqmx/internal/timestamp"
+)
+
+func ts(seq uint64, site int) timestamp.Timestamp {
+	return timestamp.Timestamp{Seq: seq, Site: timestamp.SiteID(site)}
+}
+
+func TestQueuePushPopOrder(t *testing.T) {
+	var q tsQueue
+	q.Push(ts(3, 1))
+	q.Push(ts(1, 2))
+	q.Push(ts(2, 0))
+	q.Push(ts(1, 1)) // same seq as (1,2), lower site → higher priority
+	want := []timestamp.Timestamp{ts(1, 1), ts(1, 2), ts(2, 0), ts(3, 1)}
+	for i, w := range want {
+		if q.Empty() {
+			t.Fatalf("queue empty at %d", i)
+		}
+		if h := q.Head(); h != w {
+			t.Fatalf("Head = %v, want %v", h, w)
+		}
+		if got := q.Pop(); got != w {
+			t.Fatalf("Pop %d = %v, want %v", i, got, w)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueDuplicatePushIgnored(t *testing.T) {
+	var q tsQueue
+	q.Push(ts(1, 1))
+	q.Push(ts(1, 1))
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q tsQueue
+	q.Push(ts(1, 1))
+	q.Push(ts(2, 2))
+	q.Push(ts(3, 3))
+	if !q.Remove(ts(2, 2)) {
+		t.Fatal("Remove existing = false")
+	}
+	if q.Remove(ts(2, 2)) {
+		t.Fatal("Remove missing = true")
+	}
+	if q.Len() != 2 || q.Head() != ts(1, 1) {
+		t.Fatalf("unexpected queue state: len=%d head=%v", q.Len(), q.Head())
+	}
+}
+
+func TestQueueRemoveSite(t *testing.T) {
+	var q tsQueue
+	q.Push(ts(1, 1))
+	q.Push(ts(2, 5))
+	q.Push(ts(3, 5))
+	q.Push(ts(4, 2))
+	if got := q.RemoveSite(5); got != 2 {
+		t.Fatalf("RemoveSite = %d, want 2", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if q.Contains(ts(2, 5)) || q.Contains(ts(3, 5)) {
+		t.Fatal("site 5 entries still present")
+	}
+	if !q.Contains(ts(1, 1)) || !q.Contains(ts(4, 2)) {
+		t.Fatal("unrelated entries were removed")
+	}
+}
+
+// TestQueueAlwaysSorted property-checks that any push/remove sequence keeps
+// the queue sorted by priority.
+func TestQueueAlwaysSorted(t *testing.T) {
+	check := func(ops []uint8) bool {
+		var q tsQueue
+		for _, op := range ops {
+			seq := uint64(op % 8)
+			site := int(op/8) % 8
+			if op%3 == 0 && !q.Empty() {
+				q.Remove(q.items[int(op)%len(q.items)])
+			} else {
+				q.Push(ts(seq, site))
+			}
+			if !sort.SliceIsSorted(q.items, func(i, j int) bool {
+				return q.items[i].Less(q.items[j])
+			}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,552 @@
+// Package core implements the paper's contribution: a delay-optimal
+// quorum-based distributed mutual exclusion algorithm. A site exiting the
+// critical section forwards each arbiter's permission *directly* to the next
+// requester (transfer/proxy mechanism) instead of routing it through the
+// arbiter, reducing the synchronization delay from Maekawa's 2T to the
+// provable minimum T while keeping the message complexity between 3(K−1) and
+// 6(K−1) per CS execution (K = quorum size).
+//
+// Each Site is a deterministic state machine combining two halves:
+//
+//   - the requester half, which collects permissions (reply messages) from
+//     its quorum, answers inquire messages with yield when it cannot win, and
+//     forwards permissions to transfer targets when it exits the CS; and
+//   - the arbiter half, which owns one permission (the lock), queues waiting
+//     requests by Lamport priority, and orchestrates handoffs by sending
+//     transfer (and, for higher-priority requests, piggybacked inquire)
+//     messages to the current lock holder.
+//
+// The protocol follows §3 of the paper; see DESIGN.md for the reconstruction
+// decisions where the published pseudocode is ambiguous, and for the
+// staleness tagging that replaces pure channel-FIFO reasoning once replies
+// can arrive via proxies.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+type siteState int
+
+const (
+	stateIdle siteState = iota + 1
+	stateWaiting
+	stateInCS
+)
+
+func (s siteState) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateWaiting:
+		return "waiting"
+	case stateInCS:
+		return "in-cs"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Site is one participant of the delay-optimal protocol. It implements
+// mutex.Site and mutex.FailureObserver and must be driven from a single
+// goroutine.
+type Site struct {
+	id    mutex.SiteID
+	n     int
+	clock *timestamp.Clock
+	cons  coterie.Construction // nil disables §6 quorum reconstruction
+
+	quorum      coterie.Quorum
+	nextQuorum  coterie.Quorum // replacement quorum deferred until Exit (§6)
+	failedSites map[mutex.SiteID]bool
+
+	// Requester half.
+	state         siteState
+	reqTS         timestamp.Timestamp
+	replied       map[mutex.SiteID]bool
+	failed        bool
+	inqDeferred   map[mutex.SiteID]bool // arbiters with a parked inquire (inq_queue)
+	tranStack     []transferInfo        // tran_stack: newest last
+	pendTransfers map[mutex.SiteID][]transferInfo
+
+	// Arbiter half.
+	lock         timestamp.Timestamp // (max,max) when unlocked
+	queue        tsQueue             // req_queue
+	inquired     bool                // inquire sent for the current lock generation
+	lastTransfer timestamp.Timestamp // target of the latest transfer this generation
+
+	// cases counts the §5.2 heavy-load case classification of arrivals.
+	cases CaseStats
+
+	// parkTransfers controls whether a transfer that outruns its proxied
+	// reply is parked for replay (default) or dropped as the paper's literal
+	// A.5 prescribes. Dropping is safe but costs extra 2T fallback
+	// handovers; the ablation benchmark quantifies the difference.
+	parkTransfers bool
+
+	// piggyback controls whether inquire rides on transfer and transfer on
+	// reply (default, matching the paper's §5 accounting) or every control
+	// message travels alone — an ablation that quantifies the messages
+	// piggybacking saves.
+	piggyback bool
+
+	// earlyReleases buffers releases that arrive before this arbiter has
+	// learned (via the previous holder's forwarding release) that the sender
+	// holds the lock. A proxied reply lets the next site acquire, execute,
+	// and release within one message delay — faster than the arbiter's own
+	// view can catch up — so the release is applied when the lock reaches
+	// the released request.
+	earlyReleases map[timestamp.Timestamp]releaseMsg
+}
+
+var (
+	_ mutex.Site            = (*Site)(nil)
+	_ mutex.FailureObserver = (*Site)(nil)
+)
+
+// newSite builds one site. quorum is the site's req_set; cons, when non-nil,
+// enables quorum reconstruction after failures.
+func newSite(id mutex.SiteID, n int, quorum coterie.Quorum, cons coterie.Construction) *Site {
+	return &Site{
+		id:            id,
+		n:             n,
+		clock:         timestamp.NewClock(id),
+		cons:          cons,
+		quorum:        quorum.Clone(),
+		failedSites:   make(map[mutex.SiteID]bool),
+		state:         stateIdle,
+		reqTS:         timestamp.Max,
+		lock:          timestamp.Max,
+		lastTransfer:  timestamp.Max,
+		parkTransfers: true,
+		piggyback:     true,
+		earlyReleases: make(map[timestamp.Timestamp]releaseMsg),
+	}
+}
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.state == stateInCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.state == stateWaiting }
+
+// Quorum returns the site's current req_set.
+func (s *Site) Quorum() coterie.Quorum { return s.quorum.Clone() }
+
+// Request implements mutex.Site (step A.1): timestamp the request, reset the
+// requester state, and ask every quorum member for permission.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.state != stateIdle {
+		return out
+	}
+	s.state = stateWaiting
+	s.reqTS = s.clock.Tick()
+	s.failed = false
+	s.replied = make(map[mutex.SiteID]bool, len(s.quorum))
+	s.inqDeferred = make(map[mutex.SiteID]bool)
+	s.tranStack = nil
+	s.pendTransfers = make(map[mutex.SiteID][]transferInfo)
+	for _, j := range s.quorum {
+		out.SendTo(s.id, j, requestMsg{TS: s.reqTS})
+	}
+	return out
+}
+
+// Exit implements mutex.Site (step C): forward each arbiter's permission to
+// the newest transfer target from that arbiter, then notify every quorum
+// member with a release carrying the forwarding decision.
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if s.state != stateInCS {
+		return out
+	}
+	myTS := s.reqTS
+	served := make(map[mutex.SiteID]timestamp.Timestamp, len(s.tranStack)) // tran_set
+	for k := len(s.tranStack) - 1; k >= 0; k-- {
+		e := s.tranStack[k]
+		if _, done := served[e.Arbiter]; done {
+			continue // older transfer from the same arbiter is void
+		}
+		served[e.Arbiter] = e.TargetTS
+		out.SendTo(s.id, e.TargetTS.Site, replyMsg{Arbiter: e.Arbiter, ReqTS: e.TargetTS})
+	}
+	for _, j := range s.quorum {
+		rel := releaseMsg{ReqTS: myTS, Fwd: timestamp.None}
+		if ts, ok := served[j]; ok {
+			rel.Fwd = ts.Site
+			rel.FwdTS = ts
+		}
+		out.SendTo(s.id, j, rel)
+	}
+	s.resetRequester()
+	return out
+}
+
+func (s *Site) resetRequester() {
+	if s.nextQuorum != nil {
+		s.quorum = s.nextQuorum
+		s.nextQuorum = nil
+	}
+	s.state = stateIdle
+	s.reqTS = timestamp.Max
+	s.replied = nil
+	s.failed = false
+	s.inqDeferred = nil
+	s.tranStack = nil
+	s.pendTransfers = nil
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch m := env.Msg.(type) {
+	case requestMsg:
+		s.onRequest(m, &out)
+	case replyMsg:
+		s.onReply(m, &out)
+	case releaseMsg:
+		s.onRelease(m, &out)
+	case inquireMsg:
+		s.onInquire(m, &out)
+	case failMsg:
+		s.onFail(m, &out)
+	case yieldMsg:
+		s.onYield(m, &out)
+	case transferMsg:
+		s.onTransfer(m, &out)
+	case mutex.FailureMsg:
+		out.Merge(s.SiteFailed(m.Failed))
+	}
+	return out
+}
+
+// --- Arbiter half -----------------------------------------------------------
+
+func (s *Site) resetLockGen() {
+	s.inquired = false
+	s.lastTransfer = timestamp.Max
+}
+
+// onRequest handles step A.2. The published case analysis collapses to three
+// rules once the queue is updated first:
+//
+//   - the new request is not the highest-priority waiter → fail it;
+//   - it displaced the previous highest waiter → fail the displaced one;
+//   - the highest waiter changed → (re)arm the handoff: send transfer to the
+//     lock holder, piggybacking inquire when the waiter outranks the holder.
+func (s *Site) onRequest(m requestMsg, out *mutex.Output) {
+	s.clock.Witness(m.TS)
+	if s.failedSites[m.TS.Site] {
+		return // request from a site already announced as crashed
+	}
+	if s.lock.IsMax() {
+		s.lock = m.TS
+		s.resetLockGen()
+		out.SendTo(s.id, m.TS.Site, replyMsg{Arbiter: s.id, ReqTS: m.TS})
+		return
+	}
+	oldHead := timestamp.Max
+	if !s.queue.Empty() {
+		oldHead = s.queue.Head()
+	}
+	s.classify(m.TS, oldHead)
+	s.queue.Push(m.TS)
+	head := s.queue.Head()
+	// A request learns it is currently losing (failed = 1) unless it is the
+	// unique winner here: first in line AND higher priority than the lock
+	// holder. This is what lets inquire chains terminate in a yield — the
+	// §5.2 Case 1 fail that the published pseudocode omits.
+	if head != m.TS || !m.TS.Less(s.lock) {
+		out.SendTo(s.id, m.TS.Site, failMsg{Arbiter: s.id, ReqTS: m.TS})
+	}
+	// A displaced head that was winning has not seen a fail yet; tell it.
+	if head == m.TS && !oldHead.IsMax() && oldHead.Less(s.lock) {
+		out.SendTo(s.id, oldHead.Site, failMsg{Arbiter: s.id, ReqTS: oldHead})
+	}
+	s.ensureHandoff(out)
+}
+
+// ensureHandoff keeps the invariant that the current lock holder knows about
+// the highest-priority waiter: it sends a transfer for the head (once per
+// head per lock generation) and piggybacks an inquire when the head
+// outranks the holder (once per lock generation).
+func (s *Site) ensureHandoff(out *mutex.Output) {
+	if s.lock.IsMax() || s.queue.Empty() {
+		return
+	}
+	head := s.queue.Head()
+	needTransfer := head != s.lastTransfer
+	needInquire := head.Less(s.lock) && !s.inquired
+	switch {
+	case needTransfer:
+		s.lastTransfer = head
+		out.SendTo(s.id, s.lock.Site, transferMsg{
+			Transfer: transferInfo{Arbiter: s.id, TargetTS: head},
+			HolderTS: s.lock,
+			Inquire:  needInquire && s.piggyback,
+		})
+		if needInquire && !s.piggyback {
+			out.SendTo(s.id, s.lock.Site, inquireMsg{Arbiter: s.id, HolderTS: s.lock})
+		}
+	case needInquire:
+		out.SendTo(s.id, s.lock.Site, inquireMsg{Arbiter: s.id, HolderTS: s.lock})
+	default:
+		return
+	}
+	if needInquire {
+		s.inquired = true
+	}
+}
+
+// onYield handles step A.4: the holder returned the permission; grant the
+// highest-priority request (which includes the re-enqueued yielder) and tell
+// the new holder about the next waiter in the same message.
+func (s *Site) onYield(m yieldMsg, out *mutex.Output) {
+	if s.lock != m.ReqTS {
+		return // stale yield (lock moved on)
+	}
+	s.queue.Push(m.ReqTS)
+	s.grantNext(out)
+}
+
+// grantNext pops the highest-priority waiting request, grants it directly,
+// and piggybacks a transfer for the next waiter when one exists. The queue
+// must not be empty. If the popped request already released early (possible
+// only after crash-induced chain breaks), the release is applied instead of
+// granting.
+func (s *Site) grantNext(out *mutex.Output) {
+	grant := s.queue.Pop()
+	s.lock = grant
+	s.resetLockGen()
+	if rel, ok := s.earlyReleases[grant]; ok {
+		delete(s.earlyReleases, grant)
+		s.applyRelease(rel, out)
+		return
+	}
+	reply := replyMsg{Arbiter: s.id, ReqTS: grant}
+	var follow *transferMsg
+	if !s.queue.Empty() {
+		head := s.queue.Head()
+		ti := transferInfo{Arbiter: s.id, TargetTS: head}
+		if s.piggyback {
+			reply.Transfer = &ti
+		} else {
+			follow = &transferMsg{Transfer: ti, HolderTS: grant}
+		}
+		s.lastTransfer = head
+	}
+	out.SendTo(s.id, grant.Site, reply)
+	if follow != nil {
+		out.SendTo(s.id, grant.Site, *follow)
+	}
+}
+
+// onRelease handles step C's arrival at the arbiter. With a forward the lock
+// is re-pointed at the forwarded request; without one the next waiter is
+// granted directly (the 2T fallback path). A release whose request is only
+// queued acts as a withdrawal (§6 recovery); a release whose request the
+// arbiter does not yet consider the holder is buffered and applied when the
+// lock catches up.
+func (s *Site) onRelease(m releaseMsg, out *mutex.Output) {
+	if s.lock == m.ReqTS {
+		s.applyRelease(m, out)
+		return
+	}
+	if m.Withdraw {
+		if s.queue.Remove(m.ReqTS) {
+			s.ensureHandoff(out)
+		}
+		return
+	}
+	// Early release: the holder-to-holder chain outran this arbiter's view.
+	s.earlyReleases[m.ReqTS] = m
+}
+
+// applyRelease performs the release of the current lock holder's request.
+func (s *Site) applyRelease(m releaseMsg, out *mutex.Output) {
+	if m.Fwd != timestamp.None && !s.failedSites[m.Fwd] {
+		s.queue.Remove(m.FwdTS)
+		s.setLock(m.FwdTS, out)
+		return
+	}
+	if s.queue.Empty() {
+		s.lock = timestamp.Max
+		s.resetLockGen()
+		return
+	}
+	s.grantNext(out)
+}
+
+// setLock re-points the lock at a request that obtained the permission via
+// proxy, draining any buffered early release for it (handoff chains can run
+// several CS executions ahead of the arbiter's view). Otherwise it re-arms
+// the handoff toward the new holder — a higher-priority request may have
+// arrived while the forwarding release was in flight.
+func (s *Site) setLock(ts timestamp.Timestamp, out *mutex.Output) {
+	s.lock = ts
+	s.resetLockGen()
+	if rel, ok := s.earlyReleases[ts]; ok {
+		delete(s.earlyReleases, ts)
+		s.applyRelease(rel, out)
+		return
+	}
+	s.ensureHandoff(out)
+}
+
+// --- Requester half ----------------------------------------------------------
+
+// onReply handles step A.6. Replies for other sessions — possible only
+// during §6 recovery races — are declined so the arbiter is never wedged on
+// a grant nobody claims.
+func (s *Site) onReply(m replyMsg, out *mutex.Output) {
+	if s.state != stateWaiting || m.ReqTS != s.reqTS || !s.quorum.Contains(m.Arbiter) {
+		s.decline(m, out)
+		return
+	}
+	s.replied[m.Arbiter] = true
+	if m.Transfer != nil {
+		s.acceptTransfer(*m.Transfer, out)
+	}
+	if pend := s.pendTransfers[m.Arbiter]; len(pend) > 0 {
+		delete(s.pendTransfers, m.Arbiter)
+		for _, ti := range pend {
+			s.acceptTransfer(ti, out)
+		}
+	}
+	if s.inqDeferred[m.Arbiter] && s.failed {
+		delete(s.inqDeferred, m.Arbiter)
+		s.yieldTo(m.Arbiter, out)
+	}
+	s.checkEntry(out)
+}
+
+// decline bounces an unclaimable grant back to the arbiter as a release so
+// the permission is not lost. Unreachable in failure-free runs.
+func (s *Site) decline(m replyMsg, out *mutex.Output) {
+	out.SendTo(s.id, m.Arbiter, releaseMsg{ReqTS: m.ReqTS, Fwd: timestamp.None})
+}
+
+// acceptTransfer implements step A.5 for a transfer whose arbiter has
+// already granted us (replied = 1).
+func (s *Site) acceptTransfer(ti transferInfo, _ *mutex.Output) {
+	if s.failedSites[ti.TargetTS.Site] {
+		return // never forward a permission to a crashed site
+	}
+	s.tranStack = append(s.tranStack, ti)
+}
+
+// onTransfer handles a standalone (or inquire-piggybacked) transfer from an
+// arbiter. A transfer for a different session is stale and dropped; a
+// transfer for the current session that outran its proxied reply is parked
+// and replayed when the reply lands.
+func (s *Site) onTransfer(m transferMsg, out *mutex.Output) {
+	if s.state == stateIdle || m.HolderTS != s.reqTS {
+		return
+	}
+	arb := m.Transfer.Arbiter
+	if s.replied[arb] {
+		s.acceptTransfer(m.Transfer, out)
+	} else if s.parkTransfers {
+		s.pendTransfers[arb] = append(s.pendTransfers[arb], m.Transfer)
+	}
+	if m.Inquire {
+		s.handleInquire(arb, out)
+	}
+}
+
+// onInquire handles step A.3's arrival.
+func (s *Site) onInquire(m inquireMsg, out *mutex.Output) {
+	if s.state == stateIdle || m.HolderTS != s.reqTS {
+		return // arrived after our release; ignore
+	}
+	s.handleInquire(m.Arbiter, out)
+}
+
+// handleInquire applies A.3: yield only when this site has the permission
+// but cannot win (failed = 1); otherwise park the inquire for re-evaluation
+// on the next reply or fail. Inside the CS the inquire needs no answer — the
+// release at exit supersedes it.
+func (s *Site) handleInquire(arb mutex.SiteID, out *mutex.Output) {
+	if s.state == stateInCS {
+		return
+	}
+	if s.replied[arb] && s.failed {
+		s.yieldTo(arb, out)
+		return
+	}
+	s.inqDeferred[arb] = true
+}
+
+// yieldTo relinquishes arb's permission: transfers from arb become void and
+// the permission is returned for re-granting.
+func (s *Site) yieldTo(arb mutex.SiteID, out *mutex.Output) {
+	s.replied[arb] = false
+	s.failed = true
+	s.dropTransfersFrom(arb)
+	delete(s.inqDeferred, arb)
+	out.SendTo(s.id, arb, yieldMsg{ReqTS: s.reqTS})
+}
+
+func (s *Site) dropTransfersFrom(arb mutex.SiteID) {
+	kept := s.tranStack[:0]
+	for _, e := range s.tranStack {
+		if e.Arbiter != arb {
+			kept = append(kept, e)
+		}
+	}
+	s.tranStack = kept
+	if s.pendTransfers != nil {
+		delete(s.pendTransfers, arb)
+	}
+}
+
+// onFail handles step A.7: remember the refusal and re-evaluate every parked
+// inquire — any permission we hold is now yieldable.
+func (s *Site) onFail(m failMsg, out *mutex.Output) {
+	if s.state != stateWaiting || m.ReqTS != s.reqTS {
+		return
+	}
+	s.failed = true
+	for _, arb := range s.deferredArbiters() {
+		if s.replied[arb] {
+			delete(s.inqDeferred, arb)
+			s.yieldTo(arb, out)
+		}
+	}
+}
+
+// deferredArbiters returns the parked-inquire arbiters in site order so
+// replays are deterministic (map iteration order is not).
+func (s *Site) deferredArbiters() []mutex.SiteID {
+	out := make([]mutex.SiteID, 0, len(s.inqDeferred))
+	for arb := range s.inqDeferred {
+		out = append(out, arb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkEntry performs step B: enter the CS once every quorum member has
+// granted. Parked inquires are dropped — the release at exit answers them.
+func (s *Site) checkEntry(out *mutex.Output) {
+	if s.state != stateWaiting {
+		return
+	}
+	for _, j := range s.quorum {
+		if !s.replied[j] {
+			return
+		}
+	}
+	s.state = stateInCS
+	s.inqDeferred = make(map[mutex.SiteID]bool)
+	out.Entered = true
+}

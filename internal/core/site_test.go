@@ -1,0 +1,461 @@
+package core
+
+import (
+	"testing"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// White-box tests driving the Site handlers message by message, covering the
+// protocol branches that randomized simulation may hit only occasionally.
+
+// mkSite builds a site with the given quorum (no recovery construction).
+func mkSite(id mutex.SiteID, quorum ...mutex.SiteID) *Site {
+	q := make(coterie.Quorum, len(quorum))
+	copy(q, quorum)
+	return newSite(id, 16, q, nil)
+}
+
+// deliver pushes a message through Deliver.
+func deliver(s *Site, from mutex.SiteID, msg mutex.Message) mutex.Output {
+	return s.Deliver(mutex.Envelope{From: from, To: s.id, Msg: msg})
+}
+
+// sent extracts the messages of a given kind from an output.
+func sent(out mutex.Output, kind string) []mutex.Envelope {
+	var got []mutex.Envelope
+	for _, e := range out.Send {
+		if e.Msg.Kind() == kind {
+			got = append(got, e)
+		}
+	}
+	return got
+}
+
+func TestArbiterGrantsWhenUnlocked(t *testing.T) {
+	s := mkSite(1)
+	out := deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	replies := sent(out, mutex.KindReply)
+	if len(replies) != 1 || replies[0].To != 2 {
+		t.Fatalf("replies = %v", replies)
+	}
+	if s.lock != ts(5, 2) {
+		t.Errorf("lock = %v", s.lock)
+	}
+	r, ok := replies[0].Msg.(replyMsg)
+	if !ok || r.Arbiter != 1 || r.ReqTS != ts(5, 2) {
+		t.Errorf("reply payload = %+v", replies[0].Msg)
+	}
+}
+
+func TestArbiterFailsNonWinner(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)}) // locks
+	// Lower-priority request: head of queue but loses to the lock → fail +
+	// transfer toward the holder.
+	out := deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	if f := sent(out, mutex.KindFail); len(f) != 1 || f[0].To != 3 {
+		t.Fatalf("fail = %v", f)
+	}
+	tr := sent(out, mutex.KindTransfer)
+	if len(tr) != 1 || tr[0].To != 2 {
+		t.Fatalf("transfer = %v", tr)
+	}
+	tm := tr[0].Msg.(transferMsg)
+	if tm.Inquire {
+		t.Error("inquire must not piggyback when the head loses to the lock")
+	}
+	if tm.Transfer.TargetTS != ts(6, 3) || tm.HolderTS != ts(5, 2) {
+		t.Errorf("transfer payload = %+v", tm)
+	}
+}
+
+func TestArbiterInquiresForHigherPriorityHead(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	// Higher-priority request: no fail to it, transfer+inquire to holder.
+	out := deliver(s, 3, requestMsg{TS: ts(4, 3)})
+	if f := sent(out, mutex.KindFail); len(f) != 0 {
+		t.Fatalf("winner got fail: %v", f)
+	}
+	tr := sent(out, mutex.KindTransfer)
+	if len(tr) != 1 || !tr[0].Msg.(transferMsg).Inquire {
+		t.Fatalf("want inquire piggybacked on transfer, got %v", tr)
+	}
+	if !s.inquired {
+		t.Error("inquired flag not set")
+	}
+}
+
+func TestArbiterFailsDisplacedWinningHead(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(4, 3)}) // winning head, no fail
+	// Even higher priority displaces it.
+	out := deliver(s, 4, requestMsg{TS: ts(3, 4)})
+	f := sent(out, mutex.KindFail)
+	if len(f) != 1 || f[0].To != 3 {
+		t.Fatalf("displaced head fail = %v", f)
+	}
+	// The new head gets a fresh transfer but no second inquire (deduped per
+	// lock generation).
+	tr := sent(out, mutex.KindTransfer)
+	if len(tr) != 1 || tr[0].Msg.(transferMsg).Inquire {
+		t.Fatalf("transfer = %v (inquire must be deduped)", tr)
+	}
+}
+
+func TestArbiterDisplacedLosingHeadGetsNoSecondFail(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(2, 2)})
+	out1 := deliver(s, 3, requestMsg{TS: ts(6, 3)}) // losing head: failed already
+	if len(sent(out1, mutex.KindFail)) != 1 {
+		t.Fatal("losing head should fail on arrival")
+	}
+	out2 := deliver(s, 4, requestMsg{TS: ts(5, 4)}) // displaces, still loses to lock
+	var toOld []mutex.Envelope
+	for _, e := range sent(out2, mutex.KindFail) {
+		if e.To == 3 {
+			toOld = append(toOld, e)
+		}
+	}
+	if len(toOld) != 0 {
+		t.Errorf("already-failed head re-failed: %v", toOld)
+	}
+}
+
+func TestRequesterEntersWhenAllReplied(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	out := s.Request()
+	if len(sent(out, mutex.KindRequest)) != 2 {
+		t.Fatalf("requests = %v", out.Send)
+	}
+	myTS := s.reqTS
+	out = deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: myTS})
+	if out.Entered {
+		t.Fatal("entered with one of two replies")
+	}
+	out = deliver(s, 3, replyMsg{Arbiter: 3, ReqTS: myTS})
+	if !out.Entered || !s.InCS() {
+		t.Fatal("did not enter with all replies")
+	}
+}
+
+func TestRequesterIgnoresStaleReply(t *testing.T) {
+	s := mkSite(1, 2)
+	s.Request()
+	out := deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: ts(99, 1)}) // not our request
+	if out.Entered {
+		t.Fatal("entered on stale reply")
+	}
+	// The stale grant is declined back to the arbiter so it is not wedged.
+	if rel := sent(out, mutex.KindRelease); len(rel) != 1 || rel[0].To != 2 {
+		t.Fatalf("stale reply not declined: %v", out.Send)
+	}
+}
+
+func TestInquireBeforeReplyIsParked(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	s.Request()
+	myTS := s.reqTS
+	out := deliver(s, 2, inquireMsg{Arbiter: 2, HolderTS: myTS})
+	if len(out.Send) != 0 {
+		t.Fatalf("inquire before reply answered immediately: %v", out.Send)
+	}
+	if !s.inqDeferred[2] {
+		t.Fatal("inquire not parked")
+	}
+	// A fail arrives, then the reply: A.6 must re-evaluate and yield.
+	deliver(s, 3, failMsg{Arbiter: 3, ReqTS: myTS})
+	out = deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: myTS})
+	y := sent(out, mutex.KindYield)
+	if len(y) != 1 || y[0].To != 2 {
+		t.Fatalf("parked inquire did not yield after fail+reply: %v", out.Send)
+	}
+	if s.replied[2] {
+		t.Error("replied[2] still set after yield")
+	}
+}
+
+func TestFailTriggersYieldOfHeldPermission(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	s.Request()
+	myTS := s.reqTS
+	deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: myTS})
+	deliver(s, 2, inquireMsg{Arbiter: 2, HolderTS: myTS}) // parked: not failed yet
+	out := deliver(s, 3, failMsg{Arbiter: 3, ReqTS: myTS})
+	y := sent(out, mutex.KindYield)
+	if len(y) != 1 || y[0].To != 2 {
+		t.Fatalf("A.7 did not yield: %v", out.Send)
+	}
+}
+
+func TestInquireInCSIsIgnored(t *testing.T) {
+	s := mkSite(1, 2)
+	s.Request()
+	myTS := s.reqTS
+	deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: myTS})
+	if !s.InCS() {
+		t.Fatal("setup: not in CS")
+	}
+	out := deliver(s, 2, inquireMsg{Arbiter: 2, HolderTS: myTS})
+	if len(out.Send) != 0 {
+		t.Fatalf("inquire answered while in CS: %v", out.Send)
+	}
+}
+
+func TestTransferParkedUntilProxiedReplyArrives(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	s.Request()
+	myTS := s.reqTS
+	// Transfer from arbiter 2 outruns the proxied reply.
+	deliver(s, 2, transferMsg{Transfer: transferInfo{Arbiter: 2, TargetTS: ts(9, 5)}, HolderTS: myTS})
+	if len(s.tranStack) != 0 {
+		t.Fatal("transfer accepted before reply")
+	}
+	if len(s.pendTransfers[2]) != 1 {
+		t.Fatal("transfer not parked")
+	}
+	// The proxied reply lands (From is the proxy, Arbiter is 2).
+	deliver(s, 4, replyMsg{Arbiter: 2, ReqTS: myTS})
+	if len(s.tranStack) != 1 || s.tranStack[0].TargetTS != ts(9, 5) {
+		t.Fatalf("parked transfer not replayed: %v", s.tranStack)
+	}
+	if len(s.pendTransfers[2]) != 0 {
+		t.Fatal("parking buffer not drained")
+	}
+}
+
+func TestTransferForOldSessionDropped(t *testing.T) {
+	s := mkSite(1, 2)
+	s.Request()
+	deliver(s, 2, transferMsg{Transfer: transferInfo{Arbiter: 2, TargetTS: ts(9, 5)}, HolderTS: ts(42, 1)})
+	if len(s.tranStack) != 0 || len(s.pendTransfers) != 0 {
+		t.Fatal("stale transfer retained")
+	}
+}
+
+func TestYieldRegrantsHighestAndPiggybacksTransfer(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(4, 3)}) // triggers inquire
+	deliver(s, 4, requestMsg{TS: ts(6, 4)})
+	out := deliver(s, 2, yieldMsg{ReqTS: ts(5, 2)})
+	replies := sent(out, mutex.KindReply)
+	if len(replies) != 1 || replies[0].To != 3 {
+		t.Fatalf("regrant = %v", replies)
+	}
+	r := replies[0].Msg.(replyMsg)
+	if r.Transfer == nil || r.Transfer.TargetTS != ts(5, 2) {
+		t.Fatalf("reply should piggyback transfer for next head (the yielder), got %+v", r.Transfer)
+	}
+	if s.lock != ts(4, 3) {
+		t.Errorf("lock = %v", s.lock)
+	}
+}
+
+func TestStaleYieldIgnored(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	out := deliver(s, 3, yieldMsg{ReqTS: ts(4, 3)}) // not the holder
+	if len(out.Send) != 0 || s.lock != ts(5, 2) {
+		t.Fatal("stale yield disturbed the lock")
+	}
+}
+
+func TestExitForwardsNewestTransferPerArbiter(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	s.Request()
+	myTS := s.reqTS
+	deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: myTS})
+	deliver(s, 3, replyMsg{Arbiter: 3, ReqTS: myTS})
+	// Two transfers from arbiter 2 — only the newest counts; one from 3.
+	deliver(s, 2, transferMsg{Transfer: transferInfo{Arbiter: 2, TargetTS: ts(9, 5)}, HolderTS: myTS})
+	deliver(s, 2, transferMsg{Transfer: transferInfo{Arbiter: 2, TargetTS: ts(8, 6)}, HolderTS: myTS})
+	deliver(s, 3, transferMsg{Transfer: transferInfo{Arbiter: 3, TargetTS: ts(9, 5)}, HolderTS: myTS})
+	out := s.Exit()
+	replies := sent(out, mutex.KindReply)
+	if len(replies) != 2 {
+		t.Fatalf("forwarded replies = %v", replies)
+	}
+	// Arbiter 2's newest transfer targets (8,6): forwarded to site 6.
+	var to6, to5 bool
+	for _, e := range replies {
+		switch e.To {
+		case 6:
+			to6 = true
+			if r := e.Msg.(replyMsg); r.Arbiter != 2 || r.ReqTS != ts(8, 6) {
+				t.Errorf("forward payload = %+v", r)
+			}
+		case 5:
+			to5 = true
+		}
+	}
+	if !to6 || !to5 {
+		t.Fatalf("forward targets wrong: %v", replies)
+	}
+	rels := sent(out, mutex.KindRelease)
+	if len(rels) != 2 { // one per quorum member (quorum is {2, 3})
+		t.Fatalf("releases = %v", rels)
+	}
+	for _, e := range rels {
+		r := e.Msg.(releaseMsg)
+		switch e.To {
+		case 2:
+			if r.Fwd != 6 || r.FwdTS != ts(8, 6) {
+				t.Errorf("release to 2 = %+v", r)
+			}
+		case 3:
+			if r.Fwd != 5 {
+				t.Errorf("release to 3 = %+v", r)
+			}
+		}
+	}
+}
+
+func TestReleaseWithForwardMovesLock(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	out := deliver(s, 2, releaseMsg{ReqTS: ts(5, 2), Fwd: 3, FwdTS: ts(6, 3)})
+	if s.lock != ts(6, 3) {
+		t.Fatalf("lock = %v, want (6,3)", s.lock)
+	}
+	if s.queue.Contains(ts(6, 3)) {
+		t.Fatal("forwarded request still queued")
+	}
+	if len(out.Send) != 0 {
+		t.Fatalf("no handoff expected with empty queue: %v", out.Send)
+	}
+}
+
+func TestReleaseWithForwardReArmsHandoff(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	deliver(s, 4, requestMsg{TS: ts(4, 4)}) // higher priority waiter
+	out := deliver(s, 2, releaseMsg{ReqTS: ts(5, 2), Fwd: 3, FwdTS: ts(6, 3)})
+	tr := sent(out, mutex.KindTransfer)
+	if len(tr) != 1 || tr[0].To != 3 {
+		t.Fatalf("handoff transfer = %v", tr)
+	}
+	tm := tr[0].Msg.(transferMsg)
+	if !tm.Inquire || tm.Transfer.TargetTS != ts(4, 4) {
+		t.Fatalf("handoff = %+v, want inquire for (4,4)", tm)
+	}
+}
+
+func TestReleaseFallbackGrantsDirectly(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	out := deliver(s, 2, releaseMsg{ReqTS: ts(5, 2), Fwd: timestamp.None})
+	replies := sent(out, mutex.KindReply)
+	if len(replies) != 1 || replies[0].To != 3 {
+		t.Fatalf("fallback grant = %v", replies)
+	}
+	if s.lock != ts(6, 3) {
+		t.Errorf("lock = %v", s.lock)
+	}
+}
+
+func TestEarlyReleaseBufferedAndDrained(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	// Site 3's release arrives before the arbiter knows 3 got the lock.
+	out := deliver(s, 3, releaseMsg{ReqTS: ts(6, 3), Fwd: timestamp.None})
+	if len(out.Send) != 0 {
+		t.Fatalf("early release acted immediately: %v", out.Send)
+	}
+	if s.queue.Contains(ts(6, 3)) != true {
+		t.Fatal("early release must not dequeue")
+	}
+	// Now the forwarding release from site 2 catches up: lock moves to
+	// (6,3), drains the buffered release, and the lock frees.
+	deliver(s, 2, releaseMsg{ReqTS: ts(5, 2), Fwd: 3, FwdTS: ts(6, 3)})
+	if !s.lock.IsMax() {
+		t.Fatalf("lock = %v, want unlocked after drained early release", s.lock)
+	}
+	if len(s.earlyReleases) != 0 {
+		t.Fatal("early release buffer not drained")
+	}
+}
+
+func TestWithdrawalRemovesQueuedRequest(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	out := deliver(s, 3, releaseMsg{ReqTS: ts(6, 3), Withdraw: true})
+	if s.queue.Contains(ts(6, 3)) {
+		t.Fatal("withdrawal did not dequeue")
+	}
+	if len(s.earlyReleases) != 0 {
+		t.Fatal("withdrawal buffered as early release")
+	}
+	_ = out
+}
+
+func TestRequestFromAnnouncedFailedSiteDropped(t *testing.T) {
+	s := mkSite(1, 2)
+	s.SiteFailed(5)
+	out := deliver(s, 5, requestMsg{TS: ts(3, 5)})
+	if len(out.Send) != 0 || !s.lock.IsMax() {
+		t.Fatal("request from failed site processed")
+	}
+}
+
+func TestSiteFailedRegrantsHeldLock(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	out := s.SiteFailed(2) // the holder dies
+	replies := sent(out, mutex.KindReply)
+	if len(replies) != 1 || replies[0].To != 3 {
+		t.Fatalf("regrant after holder crash = %v", replies)
+	}
+	if s.lock != ts(6, 3) {
+		t.Errorf("lock = %v", s.lock)
+	}
+}
+
+func TestSiteFailedPurgesQueueHead(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	deliver(s, 4, requestMsg{TS: ts(7, 4)})
+	out := s.SiteFailed(3) // queued head dies
+	if s.queue.Contains(ts(6, 3)) {
+		t.Fatal("failed site's request still queued")
+	}
+	// The holder must learn the new head.
+	tr := sent(out, mutex.KindTransfer)
+	if len(tr) != 1 || tr[0].Msg.(transferMsg).Transfer.TargetTS != ts(7, 4) {
+		t.Fatalf("handoff after purge = %v", tr)
+	}
+}
+
+func TestDuplicateFailureAnnouncementIdempotent(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	out1 := s.SiteFailed(2)
+	out2 := s.SiteFailed(2)
+	if len(out2.Send) != 0 {
+		t.Fatalf("second announcement acted again: %v", out2.Send)
+	}
+	_ = out1
+}
+
+func TestRequestWhileBusyIsNoOp(t *testing.T) {
+	s := mkSite(1, 2)
+	s.Request()
+	out := s.Request()
+	if len(out.Send) != 0 {
+		t.Fatal("second Request while pending sent messages")
+	}
+	if out2 := s.Exit(); len(out2.Send) != 0 {
+		t.Fatal("Exit while not in CS sent messages")
+	}
+}

@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"testing"
+
+	"dqmx/internal/core"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+// TestCaseStatsCoverHeavyLoad: under saturation, arrivals at locked
+// arbiters must be classified, and every classified case the paper analyzes
+// (1, 2, 3) must actually occur; case totals must equal the number of
+// locked-arrival events.
+func TestCaseStatsCoverHeavyLoad(t *testing.T) {
+	c, err := sim.NewCluster(sim.Config{
+		N: 25, Algorithm: core.Algorithm{}, Delay: sim.ConstantDelay{D: 1000}, Seed: 3, CSTime: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, 10)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var total core.CaseStats
+	for _, s := range c.Sites {
+		cs := s.(*core.Site).Cases()
+		for i := range cs.Case {
+			total.Case[i] += cs.Case[i]
+		}
+	}
+	if total.Total() == 0 {
+		t.Fatal("no arrivals classified under saturation")
+	}
+	for _, want := range []int{1, 2, 3} {
+		if total.Case[want] == 0 {
+			t.Errorf("case %d never occurred in a saturated run", want)
+		}
+	}
+	if total.Case[0] != 0 {
+		t.Errorf("case 0 used: %d", total.Case[0])
+	}
+}
+
+// TestPreemptionPathsExercised: under randomized delays the full protocol
+// vocabulary — inquire, yield, transfer, fail — must actually occur, so the
+// simulations genuinely cover the paper's §5.2 cases rather than only the
+// in-order fast path.
+func TestPreemptionPathsExercised(t *testing.T) {
+	totals := map[string]uint64{}
+	for seed := int64(1); seed <= 10; seed++ {
+		c, err := sim.NewCluster(sim.Config{
+			N: 13, Algorithm: core.Algorithm{}, Delay: sim.ExponentialDelay{MeanD: 1000},
+			Seed: seed, CSTime: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Saturated(c, 5)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range c.Net.CountByKind() {
+			totals[k] += v
+		}
+	}
+	for _, kind := range []string{"request", "reply", "release", "transfer", "fail", "yield"} {
+		if totals[kind] == 0 {
+			t.Errorf("message kind %q never occurred across 10 randomized heavy-load runs", kind)
+		}
+	}
+	// The paper: "whenever a site sends an inquire in response to a high
+	// priority request, the inquire is always piggybacked with a transfer" —
+	// so standalone inquire envelopes must NOT occur in the default
+	// configuration.
+	if totals["inquire"] != 0 {
+		t.Errorf("%d standalone inquire messages; they should all be piggybacked", totals["inquire"])
+	}
+
+	// With piggybacking disabled they must appear as their own envelopes.
+	c, err := sim.NewCluster(sim.Config{
+		N: 13, Algorithm: core.Algorithm{DisablePiggyback: true},
+		Delay: sim.ExponentialDelay{MeanD: 1000}, Seed: 3, CSTime: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, 5)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Net.CountByKind()["inquire"] == 0 {
+		t.Error("no standalone inquires even with piggybacking disabled")
+	}
+}
+
+// TestLightLoadHasNoCases: uncontended runs never hit a locked arbiter.
+func TestLightLoadHasNoCases(t *testing.T) {
+	c, err := sim.NewCluster(sim.Config{
+		N: 9, Algorithm: core.Algorithm{}, Delay: sim.ConstantDelay{D: 1000}, Seed: 1, CSTime: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Sequential(c, 20, 100000)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range c.Sites {
+		if got := s.(*core.Site).Cases().Total(); got != 0 {
+			t.Errorf("site %d classified %d arrivals at light load", i, got)
+		}
+	}
+}
+
+// TestLiteralTransferHandling: the paper-literal A.5 (drop racing
+// transfers) must stay safe and live; it just pays more 2T fallbacks, so its
+// sync delay is no better than the parking variant's.
+func TestLiteralTransferHandling(t *testing.T) {
+	run := func(literal bool) sim.Result {
+		c, err := sim.NewCluster(sim.Config{
+			N:         25,
+			Algorithm: core.Algorithm{LiteralTransferHandling: literal},
+			Delay:     sim.ExponentialDelay{MeanD: 1000},
+			Seed:      5,
+			CSTime:    10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Saturated(c, 8)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("literal=%v: %v", literal, err)
+		}
+		return c.Summarize()
+	}
+	parked := run(false)
+	literal := run(true)
+	if literal.SyncDelay+0.05 < parked.SyncDelay {
+		t.Errorf("literal handling (%v T) should not beat parking (%v T)",
+			literal.SyncDelay, parked.SyncDelay)
+	}
+}
+
+// TestDisablePiggyback: without piggybacking the protocol stays safe and
+// live but spends strictly more messages per CS execution.
+func TestDisablePiggyback(t *testing.T) {
+	run := func(disable bool) sim.Result {
+		c, err := sim.NewCluster(sim.Config{
+			N:         25,
+			Algorithm: core.Algorithm{DisablePiggyback: disable},
+			Delay:     sim.ExponentialDelay{MeanD: 1000},
+			Seed:      5,
+			CSTime:    10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Saturated(c, 8)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("disable=%v: %v", disable, err)
+		}
+		return c.Summarize()
+	}
+	with := run(false)
+	without := run(true)
+	if without.MessagesPerCS <= with.MessagesPerCS {
+		t.Errorf("no-piggyback msgs/CS (%v) should exceed piggybacked (%v)",
+			without.MessagesPerCS, with.MessagesPerCS)
+	}
+}

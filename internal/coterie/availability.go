@@ -1,0 +1,99 @@
+package coterie
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Availability estimates the probability that a construction can still form
+// a quorum when each site is independently up with probability p, using
+// Monte Carlo sampling with the given number of trials and a deterministic
+// seed. This is the resiliency measure behind the paper's §6 comparison of
+// fault-tolerant quorum constructions.
+func Availability(c Construction, n int, p float64, trials int, seed int64) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	alive := 0
+	down := make(map[SiteID]bool, n)
+	for t := 0; t < trials; t++ {
+		clear(down)
+		requester := None
+		for i := 0; i < n; i++ {
+			if rng.Float64() >= p {
+				down[SiteID(i)] = true
+			} else if requester == None {
+				requester = SiteID(i)
+			}
+		}
+		if requester == None {
+			continue // every site is down; no one can even ask
+		}
+		if _, err := c.QuorumAvoiding(n, requester, down); err == nil {
+			alive++
+		}
+	}
+	return float64(alive) / float64(trials)
+}
+
+// None marks "no site"; re-exported here to keep availability call sites
+// self-contained.
+const None = SiteID(-1)
+
+// TreeAvailability computes the exact availability of the Agrawal–El Abbadi
+// tree construction over n sites in heap layout when each site is
+// independently up with probability p, using the standard recursion:
+//
+//	A(leaf)     = p
+//	A(internal) = p·(1−(1−A(l))(1−A(r))) + (1−p)·A(l)·A(r)
+//
+// where a missing child in the heap layout counts as a failed subtree.
+func TreeAvailability(n int, p float64) float64 {
+	var rec func(v int) float64
+	rec = func(v int) float64 {
+		if v >= n {
+			return 0
+		}
+		l, r := 2*v+1, 2*v+2
+		if l >= n { // leaf
+			return p
+		}
+		al, ar := rec(l), rec(r)
+		return p*(1-(1-al)*(1-ar)) + (1-p)*al*ar
+	}
+	return rec(0)
+}
+
+// MajorityAvailability computes the exact availability of majority voting
+// over n sites: the probability that at least ⌊n/2⌋+1 sites are up, i.e. the
+// binomial tail Σ_{k=⌊n/2⌋+1}^{n} C(n,k) p^k (1−p)^{n−k}.
+func MajorityAvailability(n int, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	need := n/2 + 1
+	total := 0.0
+	for k := need; k <= n; k++ {
+		total += math.Exp(logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// SingletonAvailability is simply p: the lone arbiter must be up.
+func SingletonAvailability(p float64) float64 { return p }
+
+// logChoose returns ln C(n, k) via log-gamma for numerical stability.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,83 @@
+package coterie
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTreeAvailabilityDegenerate(t *testing.T) {
+	// A single site: availability is p.
+	for _, p := range []float64{0, 0.3, 0.9, 1} {
+		if got := TreeAvailability(1, p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("TreeAvailability(1, %v) = %v, want %v", p, got, p)
+		}
+	}
+}
+
+func TestTreeAvailabilityThreeNodes(t *testing.T) {
+	// n=3 perfect tree: A = p(1-(1-p)^2) + (1-p)p^2.
+	for _, p := range []float64{0.2, 0.5, 0.8, 0.95} {
+		want := p*(1-(1-p)*(1-p)) + (1-p)*p*p
+		if got := TreeAvailability(3, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("TreeAvailability(3, %v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestMajorityAvailabilityExact(t *testing.T) {
+	// n=3 needs 2 of 3: p^3 + 3 p^2 (1-p).
+	for _, p := range []float64{0.2, 0.5, 0.8, 0.95} {
+		want := p*p*p + 3*p*p*(1-p)
+		if got := MajorityAvailability(3, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("MajorityAvailability(3, %v) = %v, want %v", p, got, want)
+		}
+	}
+	if got := MajorityAvailability(5, 1); got != 1 {
+		t.Errorf("MajorityAvailability(5, 1) = %v, want 1", got)
+	}
+	if got := MajorityAvailability(5, 0); got != 0 {
+		t.Errorf("MajorityAvailability(5, 0) = %v, want 0", got)
+	}
+}
+
+func TestMajorityMoreAvailableThanSingletonAtHighP(t *testing.T) {
+	for _, p := range []float64{0.8, 0.9, 0.99} {
+		if MajorityAvailability(9, p) <= SingletonAvailability(p) {
+			t.Errorf("majority availability should exceed singleton at p=%v", p)
+		}
+	}
+}
+
+func TestMonteCarloMatchesExactForMajority(t *testing.T) {
+	n, p := 9, 0.85
+	exact := MajorityAvailability(n, p)
+	est := Availability(Majority{}, n, p, 20000, 42)
+	if math.Abs(est-exact) > 0.02 {
+		t.Errorf("Monte Carlo = %v, exact = %v (diff > 0.02)", est, exact)
+	}
+}
+
+func TestMonteCarloMatchesExactForTree(t *testing.T) {
+	n, p := 15, 0.9
+	exact := TreeAvailability(n, p)
+	est := Availability(Tree{}, n, p, 20000, 7)
+	if math.Abs(est-exact) > 0.02 {
+		t.Errorf("Monte Carlo = %v, exact = %v (diff > 0.02)", est, exact)
+	}
+}
+
+func TestAvailabilityMonotoneInP(t *testing.T) {
+	for _, c := range Constructions() {
+		lo := Availability(c, 16, 0.6, 4000, 1)
+		hi := Availability(c, 16, 0.95, 4000, 1)
+		if hi+0.03 < lo { // slack for sampling noise
+			t.Errorf("%s: availability not monotone: p=0.6 → %v, p=0.95 → %v", c.Name(), lo, hi)
+		}
+	}
+}
+
+func TestAvailabilityZeroTrials(t *testing.T) {
+	if got := Availability(Majority{}, 5, 0.9, 0, 1); got != 0 {
+		t.Errorf("Availability with 0 trials = %v, want 0", got)
+	}
+}

@@ -1,0 +1,238 @@
+// Package coterie implements quorum (coterie) constructions for distributed
+// mutual exclusion, together with validation of the coterie properties and
+// availability analysis under independent site failures.
+//
+// A coterie C under a set U of N sites is a set of quorums, where each quorum
+// g satisfies:
+//
+//  1. g ≠ ∅ and g ⊆ U;
+//  2. Minimality: no quorum is a subset of another;
+//  3. Intersection: every pair of quorums has a non-empty intersection.
+//
+// The Intersection property is what guarantees mutual exclusion in
+// quorum-based algorithms; Minimality is an efficiency concern only.
+//
+// The package provides the constructions discussed in the paper: Maekawa's
+// grid (K ≈ √N), the Agrawal–El Abbadi tree quorums (K as low as log N), the
+// Hierarchical Quorum Consensus (HQC), the Grid-set protocol, the
+// Rangarajan–Setia–Tripathi protocol, plus majority and singleton coteries as
+// baselines. All constructions implement the Construction interface, so the
+// mutual exclusion algorithms are independent of the quorum being used.
+package coterie
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dqmx/internal/timestamp"
+)
+
+// SiteID aliases the repository-wide site identifier.
+type SiteID = timestamp.SiteID
+
+// Quorum is a sorted set of distinct sites whose unanimous permission lets a
+// requester enter the critical section.
+type Quorum []SiteID
+
+// ErrNoLiveQuorum is returned when a construction cannot form a quorum that
+// avoids the given set of failed sites.
+var ErrNoLiveQuorum = errors.New("coterie: no quorum of live sites exists")
+
+// normalize sorts q and removes duplicates in place, returning the result.
+func normalize(q Quorum) Quorum {
+	sort.Slice(q, func(i, j int) bool { return q[i] < q[j] })
+	out := q[:0]
+	for i, s := range q {
+		if i == 0 || s != q[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Contains reports whether q contains site s. q must be normalized (sorted).
+func (q Quorum) Contains(s SiteID) bool {
+	i := sort.Search(len(q), func(i int) bool { return q[i] >= s })
+	return i < len(q) && q[i] == s
+}
+
+// Intersects reports whether q and r share at least one site. Both quorums
+// must be normalized.
+func (q Quorum) Intersects(r Quorum) bool {
+	i, j := 0, 0
+	for i < len(q) && j < len(r) {
+		switch {
+		case q[i] == r[j]:
+			return true
+		case q[i] < r[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every site of q is also in r. Both quorums must be
+// normalized.
+func (q Quorum) SubsetOf(r Quorum) bool {
+	i, j := 0, 0
+	for i < len(q) && j < len(r) {
+		switch {
+		case q[i] == r[j]:
+			i++
+			j++
+		case q[i] > r[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(q)
+}
+
+// Clone returns an independent copy of q.
+func (q Quorum) Clone() Quorum {
+	out := make(Quorum, len(q))
+	copy(out, q)
+	return out
+}
+
+// String renders the quorum as "{a, b, c}".
+func (q Quorum) String() string {
+	b := []byte{'{'}
+	for i, s := range q {
+		if i > 0 {
+			b = append(b, ',', ' ')
+		}
+		b = fmt.Appendf(b, "%d", s)
+	}
+	return string(append(b, '}'))
+}
+
+// Assignment maps every site to the quorum (its req_set) it must lock to
+// enter the critical section.
+type Assignment struct {
+	// N is the number of sites 0..N-1.
+	N int
+	// Quorums is indexed by site: Quorums[i] is req_set(i).
+	Quorums []Quorum
+}
+
+// Quorum returns req_set(site).
+func (a *Assignment) Quorum(site SiteID) Quorum { return a.Quorums[site] }
+
+// MaxQuorumSize returns the size of the largest quorum in the assignment.
+func (a *Assignment) MaxQuorumSize() int {
+	m := 0
+	for _, q := range a.Quorums {
+		if len(q) > m {
+			m = len(q)
+		}
+	}
+	return m
+}
+
+// AvgQuorumSize returns the mean quorum size across sites.
+func (a *Assignment) AvgQuorumSize() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range a.Quorums {
+		total += len(q)
+	}
+	return float64(total) / float64(a.N)
+}
+
+// Validate checks the coterie conditions that matter for correctness of the
+// mutual exclusion algorithms: every quorum is a non-empty subset of
+// {0..N-1}, is sorted and duplicate-free, and every pair of quorums
+// intersects. (Minimality is checked separately by CheckMinimality because it
+// is an efficiency property, not a safety property, and several classical
+// assignments violate it for edge sizes.)
+func (a *Assignment) Validate() error {
+	if len(a.Quorums) != a.N {
+		return fmt.Errorf("coterie: assignment has %d quorums for %d sites", len(a.Quorums), a.N)
+	}
+	for i, q := range a.Quorums {
+		if len(q) == 0 {
+			return fmt.Errorf("coterie: quorum of site %d is empty", i)
+		}
+		for j, s := range q {
+			if s < 0 || int(s) >= a.N {
+				return fmt.Errorf("coterie: quorum of site %d contains out-of-range site %d", i, s)
+			}
+			if j > 0 && q[j-1] >= s {
+				return fmt.Errorf("coterie: quorum of site %d is not sorted/deduped: %v", i, q)
+			}
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		for j := i + 1; j < a.N; j++ {
+			if !a.Quorums[i].Intersects(a.Quorums[j]) {
+				return fmt.Errorf("coterie: quorums of sites %d and %d do not intersect: %v vs %v",
+					i, j, a.Quorums[i], a.Quorums[j])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMinimality reports the first pair of distinct quorums where one is a
+// subset of the other, or nil when the assignment's quorum set is minimal.
+func (a *Assignment) CheckMinimality() error {
+	uniq := distinctQuorums(a.Quorums)
+	for i := range uniq {
+		for j := range uniq {
+			if i != j && uniq[i].SubsetOf(uniq[j]) {
+				return fmt.Errorf("coterie: quorum %v is a subset of %v", uniq[i], uniq[j])
+			}
+		}
+	}
+	return nil
+}
+
+func distinctQuorums(qs []Quorum) []Quorum {
+	seen := make(map[string]bool, len(qs))
+	out := make([]Quorum, 0, len(qs))
+	for _, q := range qs {
+		key := q.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Construction builds quorum assignments for a given system size and can
+// reconstruct quorums that avoid failed sites (the basis of the paper's §6
+// fault tolerance).
+type Construction interface {
+	// Name identifies the construction (used in reports and benchmarks).
+	Name() string
+	// Assign builds the per-site quorum assignment for n sites.
+	Assign(n int) (*Assignment, error)
+	// QuorumAvoiding returns a quorum for the given site that contains no
+	// site in down, or ErrNoLiveQuorum when none exists. The returned quorum
+	// is guaranteed to intersect every quorum the construction can produce
+	// for n sites, so mutual exclusion is preserved across reconstruction.
+	QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error)
+}
+
+// Constructions returns every construction implemented by this package, in a
+// stable order suitable for tables.
+func Constructions() []Construction {
+	return []Construction{
+		Grid{},
+		Tree{},
+		HQC{},
+		GridSet{GroupSize: 4},
+		RST{SubgroupSize: 3},
+		Wall{},
+		Majority{},
+		Singleton{},
+	}
+}

@@ -1,0 +1,368 @@
+package coterie
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuorumContains(t *testing.T) {
+	q := Quorum{1, 3, 5}
+	for _, s := range []SiteID{1, 3, 5} {
+		if !q.Contains(s) {
+			t.Errorf("Contains(%d) = false, want true", s)
+		}
+	}
+	for _, s := range []SiteID{0, 2, 4, 6} {
+		if q.Contains(s) {
+			t.Errorf("Contains(%d) = true, want false", s)
+		}
+	}
+}
+
+func TestQuorumIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Quorum
+		want bool
+	}{
+		{"shared element", Quorum{1, 2, 3}, Quorum{3, 4}, true},
+		{"disjoint", Quorum{1, 2}, Quorum{3, 4}, false},
+		{"empty left", Quorum{}, Quorum{1}, false},
+		{"empty right", Quorum{1}, Quorum{}, false},
+		{"identical", Quorum{7}, Quorum{7}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Intersects(tt.b); got != tt.want {
+				t.Errorf("Intersects(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Intersects(tt.a); got != tt.want {
+				t.Errorf("Intersects(%v, %v) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuorumSubsetOf(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Quorum
+		want bool
+	}{
+		{"proper subset", Quorum{1, 3}, Quorum{1, 2, 3}, true},
+		{"equal sets", Quorum{1, 2}, Quorum{1, 2}, true},
+		{"superset", Quorum{1, 2, 3}, Quorum{1, 2}, false},
+		{"overlap only", Quorum{1, 4}, Quorum{1, 2, 3}, false},
+		{"empty subset of anything", Quorum{}, Quorum{1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.SubsetOf(tt.b); got != tt.want {
+				t.Errorf("SubsetOf(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	q := normalize(Quorum{5, 1, 3, 1, 5})
+	want := Quorum{1, 3, 5}
+	if len(q) != len(want) {
+		t.Fatalf("normalize = %v, want %v", q, want)
+	}
+	for i := range q {
+		if q[i] != want[i] {
+			t.Fatalf("normalize = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestQuorumString(t *testing.T) {
+	if got := (Quorum{1, 2, 3}).String(); got != "{1, 2, 3}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Quorum{}).String(); got != "{}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestAllConstructionsValid checks the coterie Intersection property for
+// every construction over a spread of system sizes, including awkward
+// non-square, non-power sizes.
+func TestAllConstructionsValid(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 25, 31, 36, 49, 50}
+	for _, c := range Constructions() {
+		for _, n := range sizes {
+			a, err := c.Assign(n)
+			if err != nil {
+				t.Errorf("%s.Assign(%d): %v", c.Name(), n, err)
+				continue
+			}
+			if err := a.Validate(); err != nil {
+				t.Errorf("%s n=%d: %v", c.Name(), n, err)
+			}
+		}
+	}
+}
+
+// TestConstructionsRejectBadN checks error handling for invalid sizes.
+func TestConstructionsRejectBadN(t *testing.T) {
+	for _, c := range Constructions() {
+		for _, n := range []int{0, -1} {
+			if _, err := c.Assign(n); err == nil {
+				t.Errorf("%s.Assign(%d) succeeded, want error", c.Name(), n)
+			}
+			if _, err := c.QuorumAvoiding(n, 0, nil); err == nil {
+				t.Errorf("%s.QuorumAvoiding(%d) succeeded, want error", c.Name(), n)
+			}
+		}
+	}
+}
+
+// TestSiteInOwnQuorum verifies each site appears in its own req_set for the
+// constructions that guarantee it (all but singleton, where only site 0
+// hosts the lock).
+func TestSiteInOwnQuorum(t *testing.T) {
+	for _, c := range Constructions() {
+		if c.Name() == "singleton" {
+			continue
+		}
+		for _, n := range []int{4, 9, 13, 25} {
+			a, err := c.Assign(n)
+			if err != nil {
+				t.Fatalf("%s.Assign(%d): %v", c.Name(), n, err)
+			}
+			for i := 0; i < n; i++ {
+				if !a.Quorums[i].Contains(SiteID(i)) {
+					t.Errorf("%s n=%d: site %d not in its own quorum %v", c.Name(), n, i, a.Quorums[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGridQuorumSize checks the K ≈ 2√N − 1 growth of Maekawa grids on
+// perfect squares.
+func TestGridQuorumSize(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 25, 49, 81} {
+		a, err := Grid{}.Assign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := int(math.Sqrt(float64(n)))
+		want := 2*root - 1
+		for i, q := range a.Quorums {
+			if len(q) != want {
+				t.Errorf("grid n=%d site %d: |q| = %d, want %d", n, i, len(q), want)
+			}
+		}
+	}
+}
+
+// TestTreeQuorumSize checks the log N best case on perfect trees.
+func TestTreeQuorumSize(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 15, 31, 63, 127} {
+		a, err := Tree{}.Assign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth := int(math.Round(math.Log2(float64(n + 1)))) // levels of the perfect tree
+		for i, q := range a.Quorums {
+			if len(q) != depth {
+				t.Errorf("tree n=%d site %d: |q| = %d, want %d (path length)", n, i, len(q), depth)
+			}
+		}
+	}
+}
+
+// TestTreeMinimality: distinct root-to-leaf paths never contain one another.
+func TestTreeMinimality(t *testing.T) {
+	for _, n := range []int{7, 15, 31} {
+		a, err := Tree{}.Assign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckMinimality(); err != nil {
+			t.Errorf("tree n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestTreeQuorumAvoidingFailures exercises the substitution paths: with the
+// root down, quorums from both subtrees are needed; quorums must still
+// pairwise intersect across different failure views.
+func TestTreeQuorumAvoidingFailures(t *testing.T) {
+	n := 15
+	down := map[SiteID]bool{0: true}
+	q, err := Tree{}.QuorumAvoiding(n, 3, down)
+	if err != nil {
+		t.Fatalf("QuorumAvoiding with root down: %v", err)
+	}
+	if q.Contains(0) {
+		t.Errorf("quorum %v contains failed root", q)
+	}
+	if len(q) < 2 {
+		t.Errorf("root-down quorum %v should span both subtrees", q)
+	}
+	// A quorum under failures must intersect every no-failure quorum.
+	a, err := Tree{}.Assign(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, orig := range a.Quorums {
+		if !q.Intersects(orig) {
+			t.Errorf("failure quorum %v misses no-failure quorum of site %d: %v", q, i, orig)
+		}
+	}
+}
+
+// TestTreeQuorumAvoidingExhaustion: failing all leaves makes quorums
+// impossible.
+func TestTreeQuorumAvoidingExhaustion(t *testing.T) {
+	n := 7
+	down := map[SiteID]bool{3: true, 4: true, 5: true, 6: true}
+	if _, err := (Tree{}).QuorumAvoiding(n, 0, down); !errors.Is(err, ErrNoLiveQuorum) {
+		t.Fatalf("err = %v, want ErrNoLiveQuorum", err)
+	}
+}
+
+// TestCrossViewIntersection: quorums computed under *different* failure
+// views must still pairwise intersect — that is what makes reconstruction
+// safe during the §6 recovery protocol.
+func TestCrossViewIntersection(t *testing.T) {
+	views := []map[SiteID]bool{
+		nil,
+		{1: true},
+		{0: true},
+		{2: true, 5: true},
+	}
+	for _, c := range Constructions() {
+		n := 16
+		var quorums []Quorum
+		for _, view := range views {
+			q, err := c.QuorumAvoiding(n, 7, view)
+			if errors.Is(err, ErrNoLiveQuorum) {
+				continue // construction cannot tolerate this view; fine
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			quorums = append(quorums, q)
+		}
+		for i := range quorums {
+			for j := i + 1; j < len(quorums); j++ {
+				if !quorums[i].Intersects(quorums[j]) {
+					t.Errorf("%s: cross-view quorums %v and %v do not intersect",
+						c.Name(), quorums[i], quorums[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCrossViewIntersectionProperty property-checks the §6 safety keystone:
+// quorums computed under two *random, independent* failure views must
+// intersect whenever both exist — sites recovering at different times never
+// break mutual exclusion.
+func TestCrossViewIntersectionProperty(t *testing.T) {
+	for _, c := range Constructions() {
+		c := c
+		check := func(maskA, maskB uint16, siteA, siteB uint8) bool {
+			n := 12
+			mkView := func(mask uint16) map[SiteID]bool {
+				down := make(map[SiteID]bool)
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						down[SiteID(i)] = true
+					}
+				}
+				return down
+			}
+			qa, errA := c.QuorumAvoiding(n, SiteID(int(siteA)%n), mkView(maskA))
+			qb, errB := c.QuorumAvoiding(n, SiteID(int(siteB)%n), mkView(maskB))
+			if errA != nil || errB != nil {
+				return true // a view may be unservable; that is fine
+			}
+			return qa.Intersects(qb)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuorumAvoidingExcludesDownSites property-checks that returned quorums
+// never include failed sites, across random failure patterns.
+func TestQuorumAvoidingExcludesDownSites(t *testing.T) {
+	for _, c := range Constructions() {
+		c := c
+		check := func(mask uint16) bool {
+			n := 12
+			down := make(map[SiteID]bool)
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					down[SiteID(i)] = true
+				}
+			}
+			q, err := c.QuorumAvoiding(n, 0, down)
+			if err != nil {
+				return errors.Is(err, ErrNoLiveQuorum)
+			}
+			for _, s := range q {
+				if down[s] {
+					return false
+				}
+			}
+			return len(q) > 0
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestCheckMinimalityDetectsDomination(t *testing.T) {
+	a := &Assignment{
+		N:       3,
+		Quorums: []Quorum{{0}, {0, 1}, {0, 2}},
+	}
+	if err := a.CheckMinimality(); err == nil {
+		t.Fatal("CheckMinimality missed a dominated quorum")
+	}
+}
+
+func TestValidateRejectsBrokenAssignments(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Assignment
+	}{
+		{"wrong count", Assignment{N: 2, Quorums: []Quorum{{0}}}},
+		{"empty quorum", Assignment{N: 1, Quorums: []Quorum{{}}}},
+		{"out of range", Assignment{N: 1, Quorums: []Quorum{{5}}}},
+		{"unsorted", Assignment{N: 2, Quorums: []Quorum{{1, 0}, {0, 1}}}},
+		{"disjoint", Assignment{N: 2, Quorums: []Quorum{{0}, {1}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.a.Validate(); err == nil {
+				t.Error("Validate accepted a broken assignment")
+			}
+		})
+	}
+}
+
+func TestAvgAndMaxQuorumSize(t *testing.T) {
+	a := &Assignment{N: 2, Quorums: []Quorum{{0}, {0, 1}}}
+	if got := a.MaxQuorumSize(); got != 2 {
+		t.Errorf("MaxQuorumSize = %d, want 2", got)
+	}
+	if got := a.AvgQuorumSize(); got != 1.5 {
+		t.Errorf("AvgQuorumSize = %v, want 1.5", got)
+	}
+	empty := &Assignment{}
+	if got := empty.AvgQuorumSize(); got != 0 {
+		t.Errorf("AvgQuorumSize on empty = %v, want 0", got)
+	}
+}

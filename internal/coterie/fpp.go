@@ -1,0 +1,165 @@
+package coterie
+
+import "fmt"
+
+// FPP implements Maekawa's optimal quorum construction from finite
+// projective planes: for a prime order q and N = q²+q+1 sites, the sites are
+// the points of PG(2,q) and the quorums are its lines. Every line has
+// exactly q+1 ≈ √N points, every point lies on q+1 lines, and any two lines
+// meet in exactly one point — so the coterie is both minimal and perfectly
+// symmetric, the theoretical optimum Maekawa's paper aims for (the grid
+// construction approximates it with K = 2√N−1).
+//
+// Only system sizes N = q²+q+1 with q prime are supported (7, 13, 31, 57,
+// 133, …); Assign returns an error otherwise.
+type FPP struct{}
+
+var _ Construction = FPP{}
+
+// Name implements Construction.
+func (FPP) Name() string { return "fpp" }
+
+// fppOrder returns the prime order q with q²+q+1 == n, or an error.
+func fppOrder(n int) (int, error) {
+	for q := 2; q*q+q+1 <= n; q++ {
+		if q*q+q+1 == n {
+			if !isPrime(q) {
+				return 0, fmt.Errorf("coterie: fpp order %d is not prime", q)
+			}
+			return q, nil
+		}
+	}
+	return 0, fmt.Errorf("coterie: fpp needs n = q²+q+1 with q prime, got %d", n)
+}
+
+func isPrime(q int) bool {
+	if q < 2 {
+		return false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fppPoints enumerates the normalized homogeneous coordinates of PG(2,q):
+// the first non-zero coordinate is 1. Exactly q²+q+1 triples.
+func fppPoints(q int) [][3]int {
+	pts := make([][3]int, 0, q*q+q+1)
+	// (1, y, z)
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			pts = append(pts, [3]int{1, y, z})
+		}
+	}
+	// (0, 1, z)
+	for z := 0; z < q; z++ {
+		pts = append(pts, [3]int{0, 1, z})
+	}
+	// (0, 0, 1)
+	pts = append(pts, [3]int{0, 0, 1})
+	return pts
+}
+
+// fppLines builds every line of PG(2,q) as the set of point indices
+// incident to it (a·x + b·y + c·z ≡ 0 mod q); the lines are indexed by the
+// same normalized triples as the points (plane duality).
+func fppLines(q int) [][]int {
+	pts := fppPoints(q)
+	lines := make([][]int, 0, len(pts))
+	for _, l := range pts { // duality: line coefficients range over points
+		var members []int
+		for pi, p := range pts {
+			if (l[0]*p[0]+l[1]*p[1]+l[2]*p[2])%q == 0 {
+				members = append(members, pi)
+			}
+		}
+		lines = append(lines, members)
+	}
+	return lines
+}
+
+// Assign implements Construction: each site gets the first line through its
+// own point.
+func (f FPP) Assign(n int) (*Assignment, error) {
+	q, err := fppOrder(n)
+	if err != nil {
+		return nil, err
+	}
+	lines := fppLines(q)
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		line := lineThrough(lines, i)
+		if line == nil {
+			return nil, fmt.Errorf("coterie: fpp internal error: no line through point %d", i)
+		}
+		quorum := make(Quorum, 0, q+1)
+		for _, p := range line {
+			quorum = append(quorum, SiteID(p))
+		}
+		a.Quorums[i] = normalize(quorum)
+	}
+	return a, nil
+}
+
+func lineThrough(lines [][]int, point int) []int {
+	for _, line := range lines {
+		for _, p := range line {
+			if p == point {
+				return line
+			}
+		}
+	}
+	return nil
+}
+
+// QuorumAvoiding implements Construction: any fully live line works, since
+// all lines pairwise intersect. Lines through the requesting site are
+// preferred.
+func (f FPP) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	q, err := fppOrder(n)
+	if err != nil {
+		return nil, err
+	}
+	lines := fppLines(q)
+	live := func(line []int) bool {
+		for _, p := range line {
+			if down[SiteID(p)] {
+				return false
+			}
+		}
+		return true
+	}
+	pick := func(requireSite bool) Quorum {
+		for _, line := range lines {
+			if !live(line) {
+				continue
+			}
+			has := false
+			for _, p := range line {
+				if SiteID(p) == site {
+					has = true
+					break
+				}
+			}
+			if requireSite && !has {
+				continue
+			}
+			quorum := make(Quorum, 0, len(line))
+			for _, p := range line {
+				quorum = append(quorum, SiteID(p))
+			}
+			return normalize(quorum)
+		}
+		return nil
+	}
+	if quorum := pick(true); quorum != nil {
+		return quorum, nil
+	}
+	if quorum := pick(false); quorum != nil {
+		return quorum, nil
+	}
+	return nil, ErrNoLiveQuorum
+}

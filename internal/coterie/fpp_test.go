@@ -1,0 +1,130 @@
+package coterie
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFPPValidSizes(t *testing.T) {
+	// q = 2, 3, 5, 7 → N = 7, 13, 31, 57.
+	for _, tc := range []struct{ q, n int }{{2, 7}, {3, 13}, {5, 31}, {7, 57}} {
+		a, err := (FPP{}).Assign(tc.n)
+		if err != nil {
+			t.Fatalf("Assign(%d): %v", tc.n, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		// Every line of PG(2,q) has exactly q+1 points.
+		for i, quorum := range a.Quorums {
+			if len(quorum) != tc.q+1 {
+				t.Errorf("n=%d site %d: |q| = %d, want %d", tc.n, i, len(quorum), tc.q+1)
+			}
+		}
+		if err := a.CheckMinimality(); err != nil {
+			t.Errorf("n=%d: %v", tc.n, err)
+		}
+	}
+}
+
+func TestFPPRejectsInvalidSizes(t *testing.T) {
+	for _, n := range []int{0, 6, 8, 12, 21 /* q=4 not prime */, 25} {
+		if _, err := (FPP{}).Assign(n); err == nil {
+			t.Errorf("Assign(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestFPPSiteInOwnQuorum(t *testing.T) {
+	a, err := (FPP{}).Assign(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 13; i++ {
+		if !a.Quorums[i].Contains(SiteID(i)) {
+			t.Errorf("site %d not in its own quorum %v", i, a.Quorums[i])
+		}
+	}
+}
+
+func TestFPPExactPairwiseIntersection(t *testing.T) {
+	// Projective plane lines meet in exactly one point.
+	a, err := (FPP{}).Assign(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := distinctQuorums(a.Quorums)
+	for i := range uniq {
+		for j := i + 1; j < len(uniq); j++ {
+			common := 0
+			for _, s := range uniq[i] {
+				if uniq[j].Contains(s) {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Errorf("lines %v and %v share %d points, want exactly 1", uniq[i], uniq[j], common)
+			}
+		}
+	}
+}
+
+func TestFPPQuorumAvoiding(t *testing.T) {
+	down := map[SiteID]bool{0: true, 5: true}
+	q, err := (FPP{}).QuorumAvoiding(13, 7, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range q {
+		if down[s] {
+			t.Errorf("quorum %v contains failed site %d", q, s)
+		}
+	}
+	// It must still intersect the no-failure assignment.
+	a, err := (FPP{}).Assign(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, orig := range a.Quorums {
+		if !q.Intersects(orig) {
+			t.Errorf("avoiding quorum %v misses site %d's quorum %v", q, i, orig)
+		}
+	}
+}
+
+func TestFPPSmallerThanGrid(t *testing.T) {
+	// The whole point: q+1 beats the grid's 2√N−1.
+	n := 31
+	fpp, err := (FPP{}).Assign(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := (Grid{}).Assign(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpp.MaxQuorumSize() >= grid.MaxQuorumSize() {
+		t.Errorf("fpp K = %d should beat grid K = %d", fpp.MaxQuorumSize(), grid.MaxQuorumSize())
+	}
+}
+
+func TestFPPExhaustedAvailability(t *testing.T) {
+	down := map[SiteID]bool{}
+	for i := 0; i < 13; i++ {
+		down[SiteID(i)] = i%2 == 0 // kill 7 of 13: some line must die everywhere?
+	}
+	// With this many failures a live line may or may not exist; either way
+	// the answer must be consistent.
+	q, err := (FPP{}).QuorumAvoiding(13, 1, down)
+	if err != nil {
+		if !errors.Is(err, ErrNoLiveQuorum) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	for _, s := range q {
+		if down[s] {
+			t.Errorf("returned quorum %v contains failed site %d", q, s)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package coterie
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid implements Maekawa's grid construction: sites are arranged in a
+// (near-)square grid and the quorum of a site is the union of its row and
+// its column, giving K ≈ 2√N − 1. Any two such quorums intersect because the
+// row of one crosses the column of the other.
+//
+// For n that is not a perfect square the grid has ⌈n/cols⌉ rows and the last
+// row may be incomplete; a site's quorum is its full row plus, for its
+// column, every site of that column present in the grid. A column entry is
+// additionally padded with the last row's sites when the incomplete last row
+// does not reach the site's column, preserving pairwise intersection.
+type Grid struct{}
+
+var _ Construction = Grid{}
+
+// Name implements Construction.
+func (Grid) Name() string { return "maekawa-grid" }
+
+// gridDims returns the number of columns and rows used for n sites.
+func gridDims(n int) (cols, rows int) {
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	if cols == 0 {
+		cols = 1
+	}
+	rows = (n + cols - 1) / cols
+	return cols, rows
+}
+
+// Assign implements Construction.
+func (g Grid) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: grid requires n > 0, got %d", n)
+	}
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		a.Quorums[i] = g.quorumOf(n, SiteID(i))
+	}
+	return a, nil
+}
+
+// quorumOf builds the row ∪ column quorum of a site.
+func (g Grid) quorumOf(n int, site SiteID) Quorum {
+	cols, _ := gridDims(n)
+	r := int(site) / cols
+	c := int(site) % cols
+	q := make(Quorum, 0, 2*cols)
+	// Full row r (it may be the incomplete last row).
+	for cc := 0; cc < cols; cc++ {
+		if s := r*cols + cc; s < n {
+			q = append(q, SiteID(s))
+		}
+	}
+	// Column c. Pairwise intersection holds even with an incomplete last
+	// row: a complete row crosses every column, and two quorums whose rows
+	// are both the incomplete last row share that row itself.
+	for rr := 0; ; rr++ {
+		s := rr*cols + c
+		if s >= n {
+			break
+		}
+		q = append(q, SiteID(s))
+	}
+	return normalize(q)
+}
+
+// QuorumAvoiding implements Construction. It scans for a fully live row r'
+// and a fully live column c' and returns row(r') ∪ col(c'); any two
+// row-union-column quorums intersect, so the substitution is safe. The
+// requesting site's own row/column are preferred when live.
+func (g Grid) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: grid requires n > 0, got %d", n)
+	}
+	cols, rows := gridDims(n)
+	alive := func(s int) bool { return s < n && !down[SiteID(s)] }
+
+	rowLive := func(r int) bool {
+		any := false
+		for c := 0; c < cols; c++ {
+			s := r*cols + c
+			if s >= n {
+				break
+			}
+			any = true
+			if !alive(s) {
+				return false
+			}
+		}
+		return any
+	}
+	colLive := func(c int) bool {
+		any := false
+		for r := 0; r < rows; r++ {
+			s := r*cols + c
+			if s >= n {
+				break
+			}
+			any = true
+			if !alive(s) {
+				return false
+			}
+		}
+		return any
+	}
+
+	homeRow := int(site) / cols
+	homeCol := int(site) % cols
+	pickRow, pickCol := -1, -1
+	for i := 0; i < rows; i++ {
+		r := (homeRow + i) % rows
+		if rowLive(r) {
+			pickRow = r
+			break
+		}
+	}
+	for i := 0; i < cols; i++ {
+		c := (homeCol + i) % cols
+		if colLive(c) {
+			pickCol = c
+			break
+		}
+	}
+	if pickRow < 0 || pickCol < 0 {
+		return nil, ErrNoLiveQuorum
+	}
+	q := make(Quorum, 0, cols+rows)
+	for c := 0; c < cols; c++ {
+		if s := pickRow*cols + c; s < n {
+			q = append(q, SiteID(s))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if s := r*cols + pickCol; s < n {
+			q = append(q, SiteID(s))
+		}
+	}
+	return normalize(q), nil
+}

@@ -1,0 +1,128 @@
+package coterie
+
+import "fmt"
+
+// GridSet implements the Grid-set protocol: sites are partitioned into
+// groups of (about) GroupSize sites; a quorum takes a *majority of the
+// groups* and, within each selected group, a Maekawa-style grid quorum
+// (row ∪ column of the group's internal grid). Majority voting at the upper
+// level buys resiliency; the grid at the lower level keeps message overhead
+// down. Two quorums always share a group (majorities intersect) and inside
+// that group two grid quorums intersect.
+type GridSet struct {
+	// GroupSize is the target number of sites per group (default 4).
+	GroupSize int
+}
+
+var _ Construction = GridSet{}
+
+// Name implements Construction.
+func (g GridSet) Name() string { return "grid-set" }
+
+func (g GridSet) groupSize() int {
+	if g.GroupSize <= 0 {
+		return 4
+	}
+	return g.GroupSize
+}
+
+// groups partitions 0..n-1 into consecutive runs of the configured size.
+func (g GridSet) groups(n int) [][]SiteID {
+	size := g.groupSize()
+	out := make([][]SiteID, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		grp := make([]SiteID, 0, end-start)
+		for s := start; s < end; s++ {
+			grp = append(grp, SiteID(s))
+		}
+		out = append(out, grp)
+	}
+	return out
+}
+
+// gridQuorumWithin returns a grid (row ∪ column) quorum over the members of
+// one group, avoiding failed sites. Member indices are local to the group
+// and translated back to global SiteIDs.
+func gridQuorumWithin(grp []SiteID, prefer SiteID, down map[SiteID]bool) (Quorum, bool) {
+	local := make(map[SiteID]bool)
+	for _, s := range grp {
+		if down[s] {
+			local[s] = true
+		}
+	}
+	localDown := make(map[SiteID]bool, len(local))
+	preferLocal := SiteID(0)
+	for i, s := range grp {
+		if local[s] {
+			localDown[SiteID(i)] = true
+		}
+		if s == prefer {
+			preferLocal = SiteID(i)
+		}
+	}
+	lq, err := (Grid{}).QuorumAvoiding(len(grp), preferLocal, localDown)
+	if err != nil {
+		return nil, false
+	}
+	q := make(Quorum, 0, len(lq))
+	for _, li := range lq {
+		q = append(q, grp[li])
+	}
+	return q, true
+}
+
+// Assign implements Construction.
+func (g GridSet) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: grid-set requires n > 0, got %d", n)
+	}
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		q, err := g.QuorumAvoiding(n, SiteID(i), nil)
+		if err != nil {
+			return nil, fmt.Errorf("coterie: grid-set assignment for site %d: %w", i, err)
+		}
+		a.Quorums[i] = q
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction. It selects a majority of groups
+// each of which can supply a live internal grid quorum, preferring the
+// requesting site's own group first so the site appears in its own quorum
+// when alive.
+func (g GridSet) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: grid-set requires n > 0, got %d", n)
+	}
+	grps := g.groups(n)
+	need := len(grps)/2 + 1
+	home := int(site) / g.groupSize()
+
+	var q Quorum
+	got := 0
+	take := func(idx int) {
+		sub, ok := gridQuorumWithin(grps[idx], site, down)
+		if ok {
+			q = append(q, sub...)
+			got++
+		}
+	}
+	take(home)
+	for i := range grps {
+		if got == need {
+			break
+		}
+		if i != home {
+			take(i)
+		}
+	}
+	if got < need {
+		return nil, ErrNoLiveQuorum
+	}
+	return normalize(q), nil
+}

@@ -1,0 +1,124 @@
+package coterie
+
+import "fmt"
+
+// HQC implements Hierarchical Quorum Consensus: sites are the leaves of a
+// logical ternary tree and a quorum of an internal node is obtained by
+// assembling quorums from a majority of its children, recursively down to
+// the leaves. With fanout 3 the quorum size is Θ(n^log₃2) ≈ n^0.63, and the
+// construction tolerates failures by choosing different child majorities.
+type HQC struct{}
+
+var _ Construction = HQC{}
+
+// Name implements Construction.
+func (HQC) Name() string { return "hqc" }
+
+// hqcNode is a node of the logical hierarchy. A leaf holds a physical site;
+// an internal node holds children.
+type hqcNode struct {
+	site     SiteID // valid when leaf
+	leaf     bool
+	children []*hqcNode
+}
+
+// buildHQC builds the ternary hierarchy over n sites.
+func buildHQC(n int) *hqcNode {
+	level := make([]*hqcNode, n)
+	for i := 0; i < n; i++ {
+		level[i] = &hqcNode{site: SiteID(i), leaf: true}
+	}
+	for len(level) > 1 {
+		next := make([]*hqcNode, 0, (len(level)+2)/3)
+		for i := 0; i < len(level); i += 3 {
+			end := i + 3
+			if end > len(level) {
+				end = len(level)
+			}
+			next = append(next, &hqcNode{children: level[i:end:end]})
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// leavesUnder reports whether the subtree at v contains the given site.
+func (v *hqcNode) contains(site SiteID) bool {
+	if v.leaf {
+		return v.site == site
+	}
+	for _, c := range v.children {
+		if c.contains(site) {
+			return true
+		}
+	}
+	return false
+}
+
+// hqcQuorum assembles a quorum for the subtree rooted at v, avoiding failed
+// sites and preferring branches containing prefer (so a site can appear in
+// its own quorum). ok=false when no majority of children can supply quorums.
+func hqcQuorum(v *hqcNode, prefer SiteID, down map[SiteID]bool) (Quorum, bool) {
+	if v.leaf {
+		if down[v.site] {
+			return nil, false
+		}
+		return Quorum{v.site}, true
+	}
+	need := len(v.children)/2 + 1
+	// Order children: preferred branch first, then the rest in order.
+	order := make([]*hqcNode, 0, len(v.children))
+	for _, c := range v.children {
+		if c.contains(prefer) {
+			order = append(order, c)
+		}
+	}
+	for _, c := range v.children {
+		if !c.contains(prefer) {
+			order = append(order, c)
+		}
+	}
+	var q Quorum
+	got := 0
+	for _, c := range order {
+		sub, ok := hqcQuorum(c, prefer, down)
+		if !ok {
+			continue
+		}
+		q = append(q, sub...)
+		got++
+		if got == need {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// Assign implements Construction.
+func (h HQC) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: hqc requires n > 0, got %d", n)
+	}
+	root := buildHQC(n)
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		q, ok := hqcQuorum(root, SiteID(i), nil)
+		if !ok {
+			return nil, fmt.Errorf("coterie: hqc failed to build a quorum for site %d of %d", i, n)
+		}
+		a.Quorums[i] = normalize(q)
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction.
+func (h HQC) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: hqc requires n > 0, got %d", n)
+	}
+	q, ok := hqcQuorum(buildHQC(n), site, down)
+	if !ok {
+		return nil, ErrNoLiveQuorum
+	}
+	return normalize(q), nil
+}

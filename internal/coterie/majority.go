@@ -1,0 +1,86 @@
+package coterie
+
+import "fmt"
+
+// Majority implements simple majority voting: any ⌊n/2⌋+1 sites form a
+// quorum. It has the highest resiliency of the classical coteries (it
+// tolerates any ⌈n/2⌉−1 failures) at the price of O(N) messages.
+type Majority struct{}
+
+var _ Construction = Majority{}
+
+// Name implements Construction.
+func (Majority) Name() string { return "majority" }
+
+// Assign implements Construction. Site i receives the cyclic window
+// {i, i+1, …, i+⌊n/2⌋} (mod n), so every site is in its own quorum and the
+// quorum set is spread evenly across sites.
+func (m Majority) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: majority requires n > 0, got %d", n)
+	}
+	size := n/2 + 1
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		q := make(Quorum, 0, size)
+		for k := 0; k < size; k++ {
+			q = append(q, SiteID((i+k)%n))
+		}
+		a.Quorums[i] = normalize(q)
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction: any ⌊n/2⌋+1 live sites.
+func (m Majority) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: majority requires n > 0, got %d", n)
+	}
+	size := n/2 + 1
+	q := make(Quorum, 0, size)
+	if !down[site] && int(site) < n {
+		q = append(q, site)
+	}
+	for i := 0; i < n && len(q) < size; i++ {
+		if s := SiteID(i); s != site && !down[s] {
+			q = append(q, s)
+		}
+	}
+	if len(q) < size {
+		return nil, ErrNoLiveQuorum
+	}
+	return normalize(q), nil
+}
+
+// Singleton implements the centralized coterie: a single arbiter site (site
+// 0) forms the only quorum. It is the degenerate case with K = 1 and no
+// fault tolerance; it is included as a baseline for the resiliency tables.
+type Singleton struct{}
+
+var _ Construction = Singleton{}
+
+// Name implements Construction.
+func (Singleton) Name() string { return "singleton" }
+
+// Assign implements Construction.
+func (s Singleton) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: singleton requires n > 0, got %d", n)
+	}
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		a.Quorums[i] = Quorum{0}
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction: the arbiter must be alive.
+func (s Singleton) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: singleton requires n > 0, got %d", n)
+	}
+	if down[0] {
+		return nil, ErrNoLiveQuorum
+	}
+	return Quorum{0}, nil
+}

@@ -1,0 +1,167 @@
+package coterie
+
+import "fmt"
+
+// RST implements the Rangarajan–Setia–Tripathi protocol, the dual of
+// Grid-set: sites are partitioned into subgroups of (about) SubgroupSize
+// sites; the subgroups themselves are arranged in a Maekawa grid, and a
+// quorum takes, for every subgroup in a row ∪ column of that grid, a
+// *majority of the subgroup's members*. The quorum size is
+// ((G+1)/2)·O(√(N/G)). Two quorums share a subgroup (grid rows/columns
+// cross) and inside it two majorities intersect, so the Intersection
+// property holds; a site failure inside a subgroup is masked as long as a
+// majority of the subgroup survives, with no reconstruction needed.
+type RST struct {
+	// SubgroupSize is the target number of sites per subgroup (default 3).
+	SubgroupSize int
+}
+
+var _ Construction = RST{}
+
+// Name implements Construction.
+func (r RST) Name() string { return "rst" }
+
+func (r RST) subgroupSize() int {
+	if r.SubgroupSize <= 0 {
+		return 3
+	}
+	return r.SubgroupSize
+}
+
+// subgroups partitions 0..n-1 into consecutive runs of the configured size.
+func (r RST) subgroups(n int) [][]SiteID {
+	size := r.subgroupSize()
+	out := make([][]SiteID, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		grp := make([]SiteID, 0, end-start)
+		for s := start; s < end; s++ {
+			grp = append(grp, SiteID(s))
+		}
+		out = append(out, grp)
+	}
+	return out
+}
+
+// majorityOf returns any ⌊len(grp)/2⌋+1 live members of grp, preferring the
+// given site when it is a live member. ok=false when a majority is not live.
+func majorityOf(grp []SiteID, prefer SiteID, down map[SiteID]bool) (Quorum, bool) {
+	need := len(grp)/2 + 1
+	q := make(Quorum, 0, need)
+	if !down[prefer] {
+		for _, s := range grp {
+			if s == prefer {
+				q = append(q, s)
+				break
+			}
+		}
+	}
+	for _, s := range grp {
+		if len(q) == need {
+			break
+		}
+		if s != prefer && !down[s] {
+			q = append(q, s)
+		}
+	}
+	if len(q) < need {
+		return nil, false
+	}
+	return q, true
+}
+
+// Assign implements Construction.
+func (r RST) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: rst requires n > 0, got %d", n)
+	}
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		q, err := r.QuorumAvoiding(n, SiteID(i), nil)
+		if err != nil {
+			return nil, fmt.Errorf("coterie: rst assignment for site %d: %w", i, err)
+		}
+		a.Quorums[i] = q
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction. It picks a row and a column of the
+// subgroup grid such that every subgroup on them still has a live majority,
+// preferring the requesting site's home row/column.
+func (r RST) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: rst requires n > 0, got %d", n)
+	}
+	grps := r.subgroups(n)
+	m := len(grps)
+	cols, rows := gridDims(m)
+	home := int(site) / r.subgroupSize()
+	homeRow, homeCol := home/cols, home%cols
+
+	rowOK := func(rr int) bool {
+		any := false
+		for c := 0; c < cols; c++ {
+			g := rr*cols + c
+			if g >= m {
+				break
+			}
+			any = true
+			if _, ok := majorityOf(grps[g], site, down); !ok {
+				return false
+			}
+		}
+		return any
+	}
+	colOK := func(cc int) bool {
+		any := false
+		for rr := 0; rr < rows; rr++ {
+			g := rr*cols + cc
+			if g >= m {
+				break
+			}
+			any = true
+			if _, ok := majorityOf(grps[g], site, down); !ok {
+				return false
+			}
+		}
+		return any
+	}
+
+	pickRow, pickCol := -1, -1
+	for i := 0; i < rows; i++ {
+		if rr := (homeRow + i) % rows; rowOK(rr) {
+			pickRow = rr
+			break
+		}
+	}
+	for i := 0; i < cols; i++ {
+		if cc := (homeCol + i) % cols; colOK(cc) {
+			pickCol = cc
+			break
+		}
+	}
+	if pickRow < 0 || pickCol < 0 {
+		return nil, ErrNoLiveQuorum
+	}
+
+	var q Quorum
+	add := func(g int) {
+		sub, _ := majorityOf(grps[g], site, down)
+		q = append(q, sub...)
+	}
+	for c := 0; c < cols; c++ {
+		if g := pickRow*cols + c; g < m {
+			add(g)
+		}
+	}
+	for rr := 0; rr < rows; rr++ {
+		if g := rr*cols + pickCol; g < m {
+			add(g)
+		}
+	}
+	return normalize(q), nil
+}

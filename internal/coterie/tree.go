@@ -1,0 +1,96 @@
+package coterie
+
+import "fmt"
+
+// Tree implements the Agrawal–El Abbadi tree quorum construction. The n
+// sites are the nodes of a binary tree in heap layout (children of node v
+// are 2v+1 and 2v+2). A quorum is any root-to-leaf path (size O(log n)); if
+// a node on the path has failed, it is substituted by paths from *both* of
+// its children to leaves, degrading gracefully toward a majority-like quorum
+// (the worst case). All quorums produced this way pairwise intersect, so
+// requesters may reconstruct quorums independently after failures without
+// endangering mutual exclusion.
+type Tree struct{}
+
+var _ Construction = Tree{}
+
+// Name implements Construction.
+func (Tree) Name() string { return "ae-tree" }
+
+// Assign implements Construction. Site i receives the root-to-leaf path that
+// passes through i (continuing to the leftmost leaf below i), so each site
+// appears in its own quorum.
+func (t Tree) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: tree requires n > 0, got %d", n)
+	}
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		q := make(Quorum, 0, 8)
+		// Ancestors of i (path root -> i).
+		for v := i; ; v = (v - 1) / 2 {
+			q = append(q, SiteID(v))
+			if v == 0 {
+				break
+			}
+		}
+		// Continue from i to the leftmost leaf below it.
+		for v := 2*i + 1; v < n; v = 2*v + 1 {
+			q = append(q, SiteID(v))
+		}
+		a.Quorums[i] = normalize(q)
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction using the classical recursive
+// substitution rule: a live node contributes itself plus a quorum from one
+// of its subtrees; a failed node is replaced by quorums from both subtrees.
+// A failed leaf (or a failed node missing a child in the heap layout) makes
+// that branch unusable.
+func (t Tree) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: tree requires n > 0, got %d", n)
+	}
+	q, ok := treeQuorum(0, n, down)
+	if !ok {
+		return nil, ErrNoLiveQuorum
+	}
+	return normalize(q), nil
+}
+
+// treeQuorum returns a quorum for the subtree rooted at v avoiding failed
+// sites, or ok=false when that subtree cannot supply one.
+func treeQuorum(v, n int, down map[SiteID]bool) (Quorum, bool) {
+	if v >= n {
+		return nil, false
+	}
+	l, r := 2*v+1, 2*v+2
+	leaf := l >= n
+	if !down[SiteID(v)] {
+		if leaf {
+			return Quorum{SiteID(v)}, true
+		}
+		if ql, ok := treeQuorum(l, n, down); ok {
+			return append(ql, SiteID(v)), true
+		}
+		if qr, ok := treeQuorum(r, n, down); ok {
+			return append(qr, SiteID(v)), true
+		}
+		return nil, false
+	}
+	// v failed: need quorums from both children; a missing child in the heap
+	// layout counts as a failed subtree.
+	if leaf {
+		return nil, false
+	}
+	ql, ok := treeQuorum(l, n, down)
+	if !ok {
+		return nil, false
+	}
+	qr, ok := treeQuorum(r, n, down)
+	if !ok {
+		return nil, false
+	}
+	return append(ql, qr...), true
+}

@@ -1,0 +1,139 @@
+package coterie
+
+import "fmt"
+
+// Wall implements the crumbling-wall construction (Peleg–Wool): sites are
+// arranged in rows of configurable widths and a quorum is one *full* row
+// plus one representative from every row below it. Two quorums intersect
+// because the higher one's representative in the lower one's row meets that
+// full row (or they share the same row). The bottom row alone is a quorum,
+// so the construction degrades gracefully: small quorums near the bottom,
+// resilient full-width rows near the top.
+//
+// The default wall is triangular (row widths 1, 2, 3, …), giving quorum
+// sizes of O(√N).
+type Wall struct {
+	// Widths lists the row widths from top to bottom; nil selects the
+	// triangular wall. The final row is truncated to the remaining sites.
+	Widths []int
+}
+
+var _ Construction = Wall{}
+
+// Name implements Construction.
+func (Wall) Name() string { return "crumbling-wall" }
+
+// rows partitions sites 0..n-1 into rows.
+func (w Wall) rows(n int) [][]SiteID {
+	var out [][]SiteID
+	next := 0
+	width := func(r int) int {
+		if len(w.Widths) > 0 {
+			return w.Widths[r%len(w.Widths)]
+		}
+		return r + 1 // triangular
+	}
+	for r := 0; next < n; r++ {
+		wd := width(r)
+		if wd < 1 {
+			wd = 1
+		}
+		row := make([]SiteID, 0, wd)
+		for k := 0; k < wd && next < n; k++ {
+			row = append(row, SiteID(next))
+			next++
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// rowOf returns the index of the row containing site s.
+func rowOf(rows [][]SiteID, s SiteID) int {
+	for r, row := range rows {
+		for _, m := range row {
+			if m == s {
+				return r
+			}
+		}
+	}
+	return -1
+}
+
+// Assign implements Construction: each site's quorum is its own full row
+// plus, from each lower row, the member aligned with the site's offset.
+func (w Wall) Assign(n int) (*Assignment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: wall requires n > 0, got %d", n)
+	}
+	rows := w.rows(n)
+	a := &Assignment{N: n, Quorums: make([]Quorum, n)}
+	for i := 0; i < n; i++ {
+		s := SiteID(i)
+		r := rowOf(rows, s)
+		q := make(Quorum, 0, len(rows[r])+len(rows)-r)
+		q = append(q, rows[r]...)
+		offset := int(s) - int(rows[r][0])
+		for rr := r + 1; rr < len(rows); rr++ {
+			q = append(q, rows[rr][offset%len(rows[rr])])
+		}
+		a.Quorums[i] = normalize(q)
+	}
+	return a, nil
+}
+
+// QuorumAvoiding implements Construction: pick a fully live row (preferring
+// the site's own) plus a live representative from every row below it.
+func (w Wall) QuorumAvoiding(n int, site SiteID, down map[SiteID]bool) (Quorum, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coterie: wall requires n > 0, got %d", n)
+	}
+	rows := w.rows(n)
+	home := rowOf(rows, site)
+	if home < 0 {
+		home = 0
+	}
+	rowLive := func(r int) bool {
+		for _, m := range rows[r] {
+			if down[m] {
+				return false
+			}
+		}
+		return true
+	}
+	liveRep := func(r int) (SiteID, bool) {
+		for _, m := range rows[r] {
+			if !down[m] {
+				return m, true
+			}
+		}
+		return 0, false
+	}
+	try := func(r int) (Quorum, bool) {
+		if !rowLive(r) {
+			return nil, false
+		}
+		q := append(Quorum{}, rows[r]...)
+		for rr := r + 1; rr < len(rows); rr++ {
+			rep, ok := liveRep(rr)
+			if !ok {
+				return nil, false
+			}
+			q = append(q, rep)
+		}
+		return normalize(q), true
+	}
+	// Prefer the home row, then search every other row top-down.
+	if q, ok := try(home); ok {
+		return q, nil
+	}
+	for r := range rows {
+		if r == home {
+			continue
+		}
+		if q, ok := try(r); ok {
+			return q, nil
+		}
+	}
+	return nil, ErrNoLiveQuorum
+}

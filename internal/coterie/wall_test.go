@@ -1,0 +1,96 @@
+package coterie
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestWallTriangularRows(t *testing.T) {
+	rows := Wall{}.rows(10)
+	want := [][]int{{0}, {1, 2}, {3, 4, 5}, {6, 7, 8, 9}}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for r := range want {
+		if len(rows[r]) != len(want[r]) {
+			t.Fatalf("row %d = %v, want %v", r, rows[r], want[r])
+		}
+		for k := range want[r] {
+			if rows[r][k] != SiteID(want[r][k]) {
+				t.Fatalf("row %d = %v, want %v", r, rows[r], want[r])
+			}
+		}
+	}
+}
+
+func TestWallCustomWidths(t *testing.T) {
+	rows := (Wall{Widths: []int{2, 3}}).rows(9)
+	// widths cycle 2,3,2,3,… → 2+3+2+2(truncated)
+	if len(rows) != 4 || len(rows[0]) != 2 || len(rows[1]) != 3 || len(rows[2]) != 2 || len(rows[3]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestWallQuorumShape(t *testing.T) {
+	a, err := (Wall{}).Assign(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 0 (top row, width 1): itself + 1 rep per lower row = 4.
+	if got := len(a.Quorums[0]); got != 4 {
+		t.Errorf("site 0 quorum %v, size %d, want 4", a.Quorums[0], got)
+	}
+	// Bottom-row sites: only their full row.
+	for _, s := range []SiteID{6, 7, 8, 9} {
+		if got := len(a.Quorums[s]); got != 4 {
+			t.Errorf("site %d quorum %v, size %d, want 4 (full bottom row)", s, a.Quorums[s], got)
+		}
+	}
+}
+
+func TestWallQuorumSizeGrowsAsSqrt(t *testing.T) {
+	for _, n := range []int{55, 210} { // triangular numbers
+		a, err := (Wall{}).Assign(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rows k ≈ √(2N); quorum ≤ width + rows ≈ 2√(2N).
+		cap := 2.2 * math.Sqrt(2*float64(n))
+		if float64(a.MaxQuorumSize()) > cap {
+			t.Errorf("n=%d: max K = %d exceeds ~2√(2N) = %.1f", n, a.MaxQuorumSize(), cap)
+		}
+	}
+}
+
+func TestWallAvoidsDeadRow(t *testing.T) {
+	// Kill the whole top row and one site of row 1: quorums re-form below.
+	down := map[SiteID]bool{0: true, 1: true}
+	q, err := (Wall{}).QuorumAvoiding(10, 7, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range q {
+		if down[s] {
+			t.Errorf("quorum %v contains failed site %d", q, s)
+		}
+	}
+	// Must still intersect every no-failure quorum.
+	a, err := (Wall{}).Assign(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, orig := range a.Quorums {
+		if !q.Intersects(orig) {
+			t.Errorf("avoiding quorum %v misses site %d's %v", q, i, orig)
+		}
+	}
+}
+
+func TestWallBottomRowDeadMeansNoQuorum(t *testing.T) {
+	// Every quorum needs a representative from (or is) the bottom row.
+	down := map[SiteID]bool{6: true, 7: true, 8: true, 9: true}
+	if _, err := (Wall{}).QuorumAvoiding(10, 0, down); !errors.Is(err, ErrNoLiveQuorum) {
+		t.Fatalf("err = %v, want ErrNoLiveQuorum", err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package lamport implements Lamport's classical distributed mutual
+// exclusion algorithm: every request is broadcast to all other sites and
+// totally ordered by Lamport timestamps; a site enters the critical section
+// when its own request heads its local request queue and it has received a
+// higher-timestamped message (here: an explicit reply) from every other
+// site. The cost is 3(N−1) messages per CS execution with synchronization
+// delay T.
+package lamport
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// requestMsg broadcasts a CS request.
+type requestMsg struct{ TS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (requestMsg) Kind() string { return mutex.KindRequest }
+
+// replyMsg acknowledges a request with the replier's current clock.
+type replyMsg struct {
+	From timestamp.Timestamp // replier's clock reading (for the total order)
+	Req  timestamp.Timestamp // request being acknowledged
+}
+
+// Kind implements mutex.Message.
+func (replyMsg) Kind() string { return mutex.KindReply }
+
+// releaseMsg broadcasts a CS exit.
+type releaseMsg struct{ TS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (releaseMsg) Kind() string { return mutex.KindRelease }
+
+type siteState int
+
+const (
+	stateIdle siteState = iota + 1
+	stateWaiting
+	stateInCS
+)
+
+// Site is one Lamport-algorithm participant.
+type Site struct {
+	id    mutex.SiteID
+	n     int
+	clock *timestamp.Clock
+
+	state   siteState
+	reqTS   timestamp.Timestamp
+	queue   map[timestamp.Timestamp]bool // pending requests from all sites
+	ackFrom map[mutex.SiteID]bool        // sites that acknowledged our request
+}
+
+var _ mutex.Site = (*Site)(nil)
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.state == stateInCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.state == stateWaiting }
+
+// Request implements mutex.Site.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.state != stateIdle {
+		return out
+	}
+	s.state = stateWaiting
+	s.reqTS = s.clock.Tick()
+	s.queue[s.reqTS] = true
+	s.ackFrom = make(map[mutex.SiteID]bool, s.n)
+	for j := 0; j < s.n; j++ {
+		if sid := mutex.SiteID(j); sid != s.id {
+			out.SendTo(s.id, sid, requestMsg{TS: s.reqTS})
+		}
+	}
+	s.checkEntry(&out)
+	return out
+}
+
+// Exit implements mutex.Site.
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if s.state != stateInCS {
+		return out
+	}
+	delete(s.queue, s.reqTS)
+	for j := 0; j < s.n; j++ {
+		if sid := mutex.SiteID(j); sid != s.id {
+			out.SendTo(s.id, sid, releaseMsg{TS: s.reqTS})
+		}
+	}
+	s.state = stateIdle
+	s.reqTS = timestamp.Max
+	s.ackFrom = nil
+	return out
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch m := env.Msg.(type) {
+	case requestMsg:
+		s.clock.Witness(m.TS)
+		s.queue[m.TS] = true
+		out.SendTo(s.id, m.TS.Site, replyMsg{From: s.clock.Tick(), Req: m.TS})
+	case replyMsg:
+		s.clock.Witness(m.From)
+		if s.state == stateWaiting && m.Req == s.reqTS {
+			s.ackFrom[m.From.Site] = true
+			s.checkEntry(&out)
+		}
+	case releaseMsg:
+		s.clock.Witness(m.TS)
+		delete(s.queue, m.TS)
+		s.checkEntry(&out)
+	}
+	return out
+}
+
+// checkEntry applies Lamport's entry condition: our request precedes every
+// other queued request and every other site has acknowledged it.
+func (s *Site) checkEntry(out *mutex.Output) {
+	if s.state != stateWaiting {
+		return
+	}
+	for ts := range s.queue {
+		if ts != s.reqTS && ts.Less(s.reqTS) {
+			return
+		}
+	}
+	if len(s.ackFrom) < s.n-1 {
+		return
+	}
+	s.state = stateInCS
+	out.Entered = true
+}
+
+// Algorithm builds Lamport sites.
+type Algorithm struct{}
+
+var _ mutex.Algorithm = Algorithm{}
+
+// Name implements mutex.Algorithm.
+func (Algorithm) Name() string { return "lamport" }
+
+// NewSites implements mutex.Algorithm.
+func (Algorithm) NewSites(n int) ([]mutex.Site, error) {
+	sites := make([]mutex.Site, n)
+	for i := 0; i < n; i++ {
+		sites[i] = &Site{
+			id:    mutex.SiteID(i),
+			n:     n,
+			clock: timestamp.NewClock(mutex.SiteID(i)),
+			state: stateIdle,
+			reqTS: timestamp.Max,
+			queue: make(map[timestamp.Timestamp]bool),
+		}
+	}
+	return sites, nil
+}

@@ -1,0 +1,102 @@
+package lamport
+
+import (
+	"testing"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// White-box handler tests for Lamport's queue-and-ack machinery.
+
+func newSites(t *testing.T, n int) []mutex.Site {
+	t.Helper()
+	sites, err := Algorithm{}.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+func TestRequestBroadcastsToAllOthers(t *testing.T) {
+	sites := newSites(t, 4)
+	out := sites[1].Request()
+	if out.Entered {
+		t.Fatal("entered without acks")
+	}
+	if len(out.Send) != 3 {
+		t.Fatalf("sends = %d, want 3", len(out.Send))
+	}
+}
+
+func TestEveryRequestIsAcked(t *testing.T) {
+	sites := newSites(t, 3)
+	s := sites[0].(*Site)
+	out := s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{TS: timestamp.Timestamp{Seq: 1, Site: 1}}})
+	if len(out.Send) != 1 || out.Send[0].Msg.Kind() != mutex.KindReply {
+		t.Fatalf("request not acked: %v", out.Send)
+	}
+	r := out.Send[0].Msg.(replyMsg)
+	if r.From.Seq <= 1 {
+		t.Errorf("ack clock %v must exceed witnessed request", r.From)
+	}
+}
+
+func TestEntryNeedsHeadOfQueueAndAllAcks(t *testing.T) {
+	sites := newSites(t, 3)
+	s := sites[2].(*Site)
+	s.Request()
+	myTS := s.reqTS
+	// A higher-priority foreign request blocks entry even with all acks.
+	s.Deliver(mutex.Envelope{From: 0, To: 2, Msg: requestMsg{TS: timestamp.Timestamp{Seq: 1, Site: 0}}})
+	out := s.Deliver(mutex.Envelope{From: 0, To: 2, Msg: replyMsg{From: timestamp.Timestamp{Seq: 9, Site: 0}, Req: myTS}})
+	if out.Entered {
+		t.Fatal("entered ahead of a higher-priority request")
+	}
+	out = s.Deliver(mutex.Envelope{From: 1, To: 2, Msg: replyMsg{From: timestamp.Timestamp{Seq: 9, Site: 1}, Req: myTS}})
+	if out.Entered {
+		t.Fatal("still blocked by the queued higher-priority request")
+	}
+	// The release of the blocking request unblocks entry.
+	out = s.Deliver(mutex.Envelope{From: 0, To: 2, Msg: releaseMsg{TS: timestamp.Timestamp{Seq: 1, Site: 0}}})
+	if !out.Entered {
+		t.Fatal("did not enter after release + all acks")
+	}
+}
+
+func TestStaleAckIgnored(t *testing.T) {
+	sites := newSites(t, 2)
+	s := sites[0].(*Site)
+	s.Request()
+	out := s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: replyMsg{
+		From: timestamp.Timestamp{Seq: 9, Site: 1},
+		Req:  timestamp.Timestamp{Seq: 42, Site: 0}, // not our request
+	}})
+	if out.Entered {
+		t.Fatal("entered on a stale ack")
+	}
+}
+
+func TestExitBroadcastsRelease(t *testing.T) {
+	sites := newSites(t, 3)
+	s := sites[0].(*Site)
+	s.Request()
+	my := s.reqTS
+	s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: replyMsg{From: timestamp.Timestamp{Seq: 5, Site: 1}, Req: my}})
+	out := s.Deliver(mutex.Envelope{From: 2, To: 0, Msg: replyMsg{From: timestamp.Timestamp{Seq: 5, Site: 2}, Req: my}})
+	if !out.Entered {
+		t.Fatal("setup: no entry")
+	}
+	out = s.Exit()
+	if len(out.Send) != 2 {
+		t.Fatalf("releases = %d, want 2", len(out.Send))
+	}
+	for _, e := range out.Send {
+		if e.Msg.Kind() != mutex.KindRelease {
+			t.Fatalf("kind = %s", e.Msg.Kind())
+		}
+	}
+	if len(s.queue) != 0 {
+		t.Fatalf("own request still queued after exit: %v", s.queue)
+	}
+}

@@ -1,0 +1,337 @@
+// Package maekawa implements Maekawa's quorum-based mutual exclusion
+// algorithm (the paper's primary baseline): each site locks a quorum of
+// arbiters; deadlocks among concurrently requesting sites are resolved with
+// inquire/fail/yield; and — crucially — a site exiting the critical section
+// sends release to its arbiters, each of which then replies to the next
+// requester. That arbiter round trip is why Maekawa's synchronization delay
+// is 2T where the delay-optimal algorithm in internal/core achieves T.
+package maekawa
+
+import (
+	"fmt"
+	"sort"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// requestMsg asks an arbiter for permission.
+type requestMsg struct{ TS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (requestMsg) Kind() string { return mutex.KindRequest }
+
+// replyMsg grants the arbiter's permission to request ReqTS.
+type replyMsg struct {
+	Arbiter mutex.SiteID
+	ReqTS   timestamp.Timestamp
+}
+
+// Kind implements mutex.Message.
+func (replyMsg) Kind() string { return mutex.KindReply }
+
+// releaseMsg reports a CS exit to the arbiter.
+type releaseMsg struct{ ReqTS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (releaseMsg) Kind() string { return mutex.KindRelease }
+
+// inquireMsg asks the current holder whether it can still win.
+type inquireMsg struct {
+	Arbiter  mutex.SiteID
+	HolderTS timestamp.Timestamp
+}
+
+// Kind implements mutex.Message.
+func (inquireMsg) Kind() string { return mutex.KindInquire }
+
+// failMsg tells a requester a higher-priority request is ahead of it.
+type failMsg struct {
+	Arbiter mutex.SiteID
+	ReqTS   timestamp.Timestamp
+}
+
+// Kind implements mutex.Message.
+func (failMsg) Kind() string { return mutex.KindFail }
+
+// yieldMsg returns the permission for re-granting.
+type yieldMsg struct{ ReqTS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (yieldMsg) Kind() string { return mutex.KindYield }
+
+type siteState int
+
+const (
+	stateIdle siteState = iota + 1
+	stateWaiting
+	stateInCS
+)
+
+// Site is one Maekawa participant (requester and arbiter halves).
+type Site struct {
+	id     mutex.SiteID
+	clock  *timestamp.Clock
+	quorum coterie.Quorum
+
+	// Requester half.
+	state       siteState
+	reqTS       timestamp.Timestamp
+	replied     map[mutex.SiteID]bool
+	failed      bool
+	inqDeferred map[mutex.SiteID]bool
+
+	// Arbiter half.
+	lock     timestamp.Timestamp
+	queue    queue
+	inquired bool
+}
+
+var _ mutex.Site = (*Site)(nil)
+
+// queue is a slice-based priority queue of timestamps (see internal/core for
+// rationale; duplicated here to keep baseline packages self-contained).
+type queue struct{ items []timestamp.Timestamp }
+
+func (q *queue) empty() bool               { return len(q.items) == 0 }
+func (q *queue) head() timestamp.Timestamp { return q.items[0] }
+func (q *queue) push(ts timestamp.Timestamp) {
+	lo, hi := 0, len(q.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.items[mid].Less(ts) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(q.items) && q.items[lo] == ts {
+		return
+	}
+	q.items = append(q.items, timestamp.Timestamp{})
+	copy(q.items[lo+1:], q.items[lo:])
+	q.items[lo] = ts
+}
+func (q *queue) pop() timestamp.Timestamp {
+	ts := q.items[0]
+	q.items = q.items[1:]
+	return ts
+}
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.state == stateInCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.state == stateWaiting }
+
+// Request implements mutex.Site.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.state != stateIdle {
+		return out
+	}
+	s.state = stateWaiting
+	s.reqTS = s.clock.Tick()
+	s.failed = false
+	s.replied = make(map[mutex.SiteID]bool, len(s.quorum))
+	s.inqDeferred = make(map[mutex.SiteID]bool)
+	for _, j := range s.quorum {
+		out.SendTo(s.id, j, requestMsg{TS: s.reqTS})
+	}
+	return out
+}
+
+// Exit implements mutex.Site: release every arbiter; each re-grants to its
+// next waiter itself (the 2T handover).
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if s.state != stateInCS {
+		return out
+	}
+	for _, j := range s.quorum {
+		out.SendTo(s.id, j, releaseMsg{ReqTS: s.reqTS})
+	}
+	s.state = stateIdle
+	s.reqTS = timestamp.Max
+	s.replied = nil
+	s.inqDeferred = nil
+	s.failed = false
+	return out
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch m := env.Msg.(type) {
+	case requestMsg:
+		s.onRequest(m, &out)
+	case replyMsg:
+		s.onReply(m, &out)
+	case releaseMsg:
+		s.onRelease(m, &out)
+	case inquireMsg:
+		s.onInquire(m, &out)
+	case failMsg:
+		s.onFail(m, &out)
+	case yieldMsg:
+		s.onYield(m, &out)
+	}
+	return out
+}
+
+func (s *Site) onRequest(m requestMsg, out *mutex.Output) {
+	s.clock.Witness(m.TS)
+	if s.lock.IsMax() {
+		s.lock = m.TS
+		s.inquired = false
+		out.SendTo(s.id, m.TS.Site, replyMsg{Arbiter: s.id, ReqTS: m.TS})
+		return
+	}
+	oldHead := timestamp.Max
+	if !s.queue.empty() {
+		oldHead = s.queue.head()
+	}
+	s.queue.push(m.TS)
+	head := s.queue.head()
+	if head != m.TS || !m.TS.Less(s.lock) {
+		out.SendTo(s.id, m.TS.Site, failMsg{Arbiter: s.id, ReqTS: m.TS})
+	}
+	if head == m.TS && !oldHead.IsMax() && oldHead.Less(s.lock) {
+		out.SendTo(s.id, oldHead.Site, failMsg{Arbiter: s.id, ReqTS: oldHead})
+	}
+	if head.Less(s.lock) && !s.inquired {
+		s.inquired = true
+		out.SendTo(s.id, s.lock.Site, inquireMsg{Arbiter: s.id, HolderTS: s.lock})
+	}
+}
+
+func (s *Site) onRelease(m releaseMsg, out *mutex.Output) {
+	if s.lock != m.ReqTS {
+		return
+	}
+	s.grantNext(out)
+}
+
+func (s *Site) grantNext(out *mutex.Output) {
+	s.inquired = false
+	if s.queue.empty() {
+		s.lock = timestamp.Max
+		return
+	}
+	grant := s.queue.pop()
+	s.lock = grant
+	out.SendTo(s.id, grant.Site, replyMsg{Arbiter: s.id, ReqTS: grant})
+}
+
+func (s *Site) onYield(m yieldMsg, out *mutex.Output) {
+	if s.lock != m.ReqTS {
+		return
+	}
+	s.queue.push(m.ReqTS)
+	s.grantNext(out)
+}
+
+func (s *Site) onReply(m replyMsg, out *mutex.Output) {
+	if s.state != stateWaiting || m.ReqTS != s.reqTS {
+		return
+	}
+	s.replied[m.Arbiter] = true
+	if s.inqDeferred[m.Arbiter] && s.failed {
+		delete(s.inqDeferred, m.Arbiter)
+		s.yieldTo(m.Arbiter, out)
+	}
+	s.checkEntry(out)
+}
+
+func (s *Site) onInquire(m inquireMsg, out *mutex.Output) {
+	if s.state == stateIdle || m.HolderTS != s.reqTS || s.state == stateInCS {
+		return // stale, or in the CS (release will answer)
+	}
+	if s.replied[m.Arbiter] && s.failed {
+		s.yieldTo(m.Arbiter, out)
+		return
+	}
+	s.inqDeferred[m.Arbiter] = true
+}
+
+func (s *Site) onFail(m failMsg, out *mutex.Output) {
+	if s.state != stateWaiting || m.ReqTS != s.reqTS {
+		return
+	}
+	s.failed = true
+	// Site-order iteration keeps replays deterministic.
+	arbs := make([]mutex.SiteID, 0, len(s.inqDeferred))
+	for arb := range s.inqDeferred {
+		arbs = append(arbs, arb)
+	}
+	sort.Slice(arbs, func(i, j int) bool { return arbs[i] < arbs[j] })
+	for _, arb := range arbs {
+		if s.replied[arb] {
+			delete(s.inqDeferred, arb)
+			s.yieldTo(arb, out)
+		}
+	}
+}
+
+func (s *Site) yieldTo(arb mutex.SiteID, out *mutex.Output) {
+	s.replied[arb] = false
+	s.failed = true
+	delete(s.inqDeferred, arb)
+	out.SendTo(s.id, arb, yieldMsg{ReqTS: s.reqTS})
+}
+
+func (s *Site) checkEntry(out *mutex.Output) {
+	if s.state != stateWaiting {
+		return
+	}
+	for _, j := range s.quorum {
+		if !s.replied[j] {
+			return
+		}
+	}
+	s.state = stateInCS
+	s.inqDeferred = make(map[mutex.SiteID]bool)
+	out.Entered = true
+}
+
+// Algorithm builds Maekawa sites over a pluggable coterie (grid by default).
+type Algorithm struct {
+	// Construction supplies the coterie; nil defaults to the Maekawa grid.
+	Construction coterie.Construction
+}
+
+var _ mutex.Algorithm = Algorithm{}
+
+// Name implements mutex.Algorithm.
+func (a Algorithm) Name() string { return "maekawa(" + a.construction().Name() + ")" }
+
+func (a Algorithm) construction() coterie.Construction {
+	if a.Construction == nil {
+		return coterie.Grid{}
+	}
+	return a.Construction
+}
+
+// NewSites implements mutex.Algorithm.
+func (a Algorithm) NewSites(n int) ([]mutex.Site, error) {
+	assign, err := a.construction().Assign(n)
+	if err != nil {
+		return nil, fmt.Errorf("maekawa: assign quorums: %w", err)
+	}
+	sites := make([]mutex.Site, n)
+	for i := 0; i < n; i++ {
+		sites[i] = &Site{
+			id:     mutex.SiteID(i),
+			clock:  timestamp.NewClock(mutex.SiteID(i)),
+			quorum: assign.Quorum(mutex.SiteID(i)).Clone(),
+			state:  stateIdle,
+			reqTS:  timestamp.Max,
+			lock:   timestamp.Max,
+		}
+	}
+	return sites, nil
+}

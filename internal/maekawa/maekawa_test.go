@@ -1,0 +1,121 @@
+package maekawa_test
+
+import (
+	"testing"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/maekawa"
+	"dqmx/internal/mutex"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+const meanDelay = sim.Time(1000)
+
+func runSaturated(t *testing.T, n, perSite int, seed int64, delay sim.Delay) sim.Result {
+	t.Helper()
+	if delay == nil {
+		delay = sim.ConstantDelay{D: meanDelay}
+	}
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: maekawa.Algorithm{}, Delay: delay, Seed: seed, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, perSite)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	if got, want := c.Completed(), n*perSite; got != want {
+		t.Fatalf("n=%d seed=%d: completed %d of %d", n, seed, got, want)
+	}
+	return c.Summarize()
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	for _, n := range []int{2, 4, 9, 16, 25} {
+		for seed := int64(1); seed <= 5; seed++ {
+			runSaturated(t, n, 4, seed, nil)
+			runSaturated(t, n, 4, seed, sim.ExponentialDelay{MeanD: meanDelay})
+		}
+	}
+}
+
+// TestLightLoadMessages: Maekawa needs 3(K−1) messages per uncontended CS.
+func TestLightLoadMessages(t *testing.T) {
+	n := 25
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: maekawa.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 30
+	workload.Sequential(c, total, 100*meanDelay)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	assign, _ := (coterie.Grid{}).Assign(n)
+	want := uint64(total * 3 * (assign.MaxQuorumSize() - 1))
+	if got := c.Net.Total(); got != want {
+		t.Errorf("light-load messages = %d, want %d", got, want)
+	}
+}
+
+// TestHeavyLoadSyncDelayIs2T: the arbiter round trip (release then reply)
+// costs two message delays per handover.
+func TestHeavyLoadSyncDelayIs2T(t *testing.T) {
+	res := runSaturated(t, 25, 10, 7, nil)
+	if res.SyncDelaySamples == 0 {
+		t.Fatal("no handover samples")
+	}
+	if res.SyncDelay < 1.8 || res.SyncDelay > 2.4 {
+		t.Errorf("sync delay = %.3f T, want ≈ 2 T", res.SyncDelay)
+	}
+}
+
+// TestHeavyLoadMessageBound: Maekawa stays within roughly 5(K−1) under
+// heavy load.
+func TestHeavyLoadMessageBound(t *testing.T) {
+	n := 25
+	res := runSaturated(t, n, 10, 42, nil)
+	assign, _ := (coterie.Grid{}).Assign(n)
+	k := float64(assign.MaxQuorumSize())
+	if res.MessagesPerCS < 3*(k-1)-0.5 || res.MessagesPerCS > 6*(k-1)+0.5 {
+		t.Errorf("%.2f messages/CS outside [3(K−1), 6(K−1)]", res.MessagesPerCS)
+	}
+}
+
+// TestNoTransferMessages: classic Maekawa never uses the transfer kind.
+func TestNoTransferMessages(t *testing.T) {
+	c, err := sim.NewCluster(sim.Config{N: 9, Algorithm: maekawa.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, Seed: 1, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, 5)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Net.CountByKind()[mutex.KindTransfer]; n != 0 {
+		t.Errorf("maekawa sent %d transfer messages", n)
+	}
+}
+
+// TestOtherCoteries: Maekawa's protocol also works over tree and majority
+// coteries.
+func TestOtherCoteries(t *testing.T) {
+	for _, cons := range []coterie.Construction{coterie.Tree{}, coterie.Majority{}} {
+		c, err := sim.NewCluster(sim.Config{
+			N: 15, Algorithm: maekawa.Algorithm{Construction: cons},
+			Delay: sim.ExponentialDelay{MeanD: meanDelay}, Seed: 3, CSTime: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Saturated(c, 4)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("%s: %v", cons.Name(), err)
+		}
+	}
+}

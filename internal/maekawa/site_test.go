@@ -1,0 +1,131 @@
+package maekawa
+
+import (
+	"testing"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// White-box handler tests mirroring internal/core's, minus the transfer
+// machinery Maekawa lacks.
+
+func mkSite(id mutex.SiteID, quorum ...mutex.SiteID) *Site {
+	q := make(coterie.Quorum, len(quorum))
+	copy(q, quorum)
+	return &Site{
+		id:     id,
+		clock:  timestamp.NewClock(id),
+		quorum: q,
+		state:  stateIdle,
+		reqTS:  timestamp.Max,
+		lock:   timestamp.Max,
+	}
+}
+
+func ts(seq uint64, site int) timestamp.Timestamp {
+	return timestamp.Timestamp{Seq: seq, Site: timestamp.SiteID(site)}
+}
+
+func deliver(s *Site, from mutex.SiteID, msg mutex.Message) mutex.Output {
+	return s.Deliver(mutex.Envelope{From: from, To: s.id, Msg: msg})
+}
+
+func kinds(out mutex.Output) map[string]int {
+	m := map[string]int{}
+	for _, e := range out.Send {
+		m[e.Msg.Kind()]++
+	}
+	return m
+}
+
+func TestUnlockedArbiterGrants(t *testing.T) {
+	s := mkSite(1)
+	out := deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	if kinds(out)[mutex.KindReply] != 1 || s.lock != ts(5, 2) {
+		t.Fatalf("grant failed: %v, lock=%v", out.Send, s.lock)
+	}
+}
+
+func TestLockedArbiterNeverSendsTransfer(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	out := deliver(s, 3, requestMsg{TS: ts(4, 3)})
+	k := kinds(out)
+	if k[mutex.KindTransfer] != 0 {
+		t.Fatal("maekawa sent a transfer")
+	}
+	if k[mutex.KindInquire] != 1 {
+		t.Fatalf("higher-priority arrival should inquire the holder: %v", out.Send)
+	}
+}
+
+func TestReleaseGrantsViaArbiter(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(6, 3)})
+	out := deliver(s, 2, releaseMsg{ReqTS: ts(5, 2)})
+	// The 2T path: arbiter replies to the next waiter itself.
+	if kinds(out)[mutex.KindReply] != 1 || out.Send[0].To != 3 {
+		t.Fatalf("release regrant = %v", out.Send)
+	}
+	if s.lock != ts(6, 3) {
+		t.Errorf("lock = %v", s.lock)
+	}
+}
+
+func TestStaleReleaseIgnored(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	out := deliver(s, 3, releaseMsg{ReqTS: ts(9, 3)})
+	if len(out.Send) != 0 || s.lock != ts(5, 2) {
+		t.Fatal("stale release disturbed the lock")
+	}
+}
+
+func TestYieldRequeuesAndRegrants(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s, 3, requestMsg{TS: ts(4, 3)})
+	out := deliver(s, 2, yieldMsg{ReqTS: ts(5, 2)})
+	if kinds(out)[mutex.KindReply] != 1 || out.Send[0].To != 3 {
+		t.Fatalf("yield regrant = %v", out.Send)
+	}
+	if !s.queue.empty() && s.queue.head() != ts(5, 2) {
+		t.Errorf("yielder not requeued: %v", s.queue.items)
+	}
+}
+
+func TestInquireDeferredUntilFail(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	s.Request()
+	my := s.reqTS
+	deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: my})
+	out := deliver(s, 2, inquireMsg{Arbiter: 2, HolderTS: my})
+	if len(out.Send) != 0 {
+		t.Fatalf("yielded before failing: %v", out.Send)
+	}
+	out = deliver(s, 3, failMsg{Arbiter: 3, ReqTS: my})
+	if kinds(out)[mutex.KindYield] != 1 {
+		t.Fatalf("fail did not trigger the parked yield: %v", out.Send)
+	}
+	if s.replied[2] {
+		t.Error("replied[2] survived the yield")
+	}
+}
+
+func TestEntryAfterAllReplies(t *testing.T) {
+	s := mkSite(1, 2, 3)
+	s.Request()
+	my := s.reqTS
+	deliver(s, 2, replyMsg{Arbiter: 2, ReqTS: my})
+	out := deliver(s, 3, replyMsg{Arbiter: 3, ReqTS: my})
+	if !out.Entered || !s.InCS() {
+		t.Fatal("no entry with full quorum")
+	}
+	out = s.Exit()
+	if kinds(out)[mutex.KindRelease] != 2 {
+		t.Fatalf("exit releases = %v", out.Send)
+	}
+}

@@ -1,0 +1,118 @@
+// Package mutex defines the transport-independent contract shared by every
+// distributed mutual exclusion algorithm in this repository.
+//
+// Each algorithm is implemented as a deterministic, single-threaded state
+// machine per site (the Site interface). A driver — the discrete-event
+// simulator in internal/sim or the goroutine/TCP runtime in
+// internal/transport — owns message delivery and time; the state machines
+// never block, never spawn goroutines, and communicate only through the
+// Output values they return. This is what lets the exact same protocol code
+// run under deterministic simulation (for the paper's measurements) and on a
+// real network.
+package mutex
+
+import "dqmx/internal/timestamp"
+
+// SiteID aliases the repository-wide site identifier.
+type SiteID = timestamp.SiteID
+
+// Message is a protocol payload. Kind returns a stable name used for
+// per-type message accounting (the paper counts messages per CS execution by
+// type); a payload with piggybacked content still counts as one message,
+// matching the paper's accounting ("a control message piggybacked with
+// another message is counted as one message").
+type Message interface {
+	Kind() string
+}
+
+// Envelope is one message in flight between two sites. A self-addressed
+// envelope (From == To) is delivered immediately by drivers and is not
+// counted as a network message, matching the paper's K−1 counting.
+type Envelope struct {
+	From SiteID
+	To   SiteID
+	Msg  Message
+}
+
+// Output collects the externally visible effects of one state-machine step.
+type Output struct {
+	// Send lists messages to transmit, in order.
+	Send []Envelope
+	// Entered is true when the site acquired the critical section during
+	// this step. The driver reacts by recording the entry and scheduling the
+	// critical-section execution, after which it calls Site.Exit.
+	Entered bool
+}
+
+// Merge appends the effects of o2 to o.
+func (o *Output) Merge(o2 Output) {
+	o.Send = append(o.Send, o2.Send...)
+	o.Entered = o.Entered || o2.Entered
+}
+
+// SendTo appends one message to the output.
+func (o *Output) SendTo(from, to SiteID, m Message) {
+	o.Send = append(o.Send, Envelope{From: from, To: to, Msg: m})
+}
+
+// Site is the per-site protocol state machine. Implementations are not safe
+// for concurrent use: a single driver goroutine (or the single-threaded
+// simulator) must serialize all calls.
+type Site interface {
+	// ID returns the site's identifier.
+	ID() SiteID
+	// Request begins acquiring the critical section. It must not be called
+	// while a previous request is still pending or the site is inside the
+	// CS; sites execute their CS requests sequentially one by one.
+	Request() Output
+	// Exit releases the critical section. It must only be called after
+	// Entered was reported.
+	Exit() Output
+	// Deliver processes one incoming message addressed to this site.
+	Deliver(env Envelope) Output
+	// InCS reports whether the site currently holds the critical section.
+	InCS() bool
+	// Pending reports whether a request is in flight (issued, not yet
+	// entered).
+	Pending() bool
+}
+
+// FailureObserver is implemented by algorithms that support the paper's §6
+// fault-tolerance extension. Drivers call SiteFailed on every surviving site
+// when a failure(f) notification is delivered.
+type FailureObserver interface {
+	// SiteFailed reacts to the announced crash of site f.
+	SiteFailed(f SiteID) Output
+}
+
+// Algorithm constructs the complete set of site state machines for a run.
+type Algorithm interface {
+	// Name identifies the algorithm in tables and benchmarks.
+	Name() string
+	// NewSites builds the N per-site state machines for sites 0..n-1.
+	NewSites(n int) ([]Site, error)
+}
+
+// Message kind names shared across algorithms. Quorum-based algorithms use
+// the paper's seven control messages; the token- and permission-based
+// baselines reuse request/reply plus their own kinds.
+const (
+	KindRequest  = "request"
+	KindReply    = "reply"
+	KindRelease  = "release"
+	KindInquire  = "inquire"
+	KindFail     = "fail"
+	KindYield    = "yield"
+	KindTransfer = "transfer"
+	KindToken    = "token"
+	KindFailure  = "failure" // §6 crash notification
+)
+
+// FailureMsg announces that site Failed has crashed (§6). Drivers inject it;
+// algorithms implementing FailureObserver react to it.
+type FailureMsg struct {
+	Failed SiteID
+}
+
+// Kind implements Message.
+func (FailureMsg) Kind() string { return KindFailure }

@@ -1,0 +1,61 @@
+package mutex
+
+import "testing"
+
+type fakeMsg struct{ kind string }
+
+func (m fakeMsg) Kind() string { return m.kind }
+
+func TestOutputSendTo(t *testing.T) {
+	var out Output
+	out.SendTo(1, 2, fakeMsg{"request"})
+	out.SendTo(1, 3, fakeMsg{"reply"})
+	if len(out.Send) != 2 {
+		t.Fatalf("Send len = %d", len(out.Send))
+	}
+	if out.Send[0].From != 1 || out.Send[0].To != 2 || out.Send[0].Msg.Kind() != "request" {
+		t.Errorf("first envelope wrong: %+v", out.Send[0])
+	}
+	if out.Entered {
+		t.Error("SendTo must not set Entered")
+	}
+}
+
+func TestOutputMerge(t *testing.T) {
+	var a, b Output
+	a.SendTo(0, 1, fakeMsg{"x"})
+	b.SendTo(1, 0, fakeMsg{"y"})
+	b.Entered = true
+	a.Merge(b)
+	if len(a.Send) != 2 {
+		t.Fatalf("merged Send len = %d", len(a.Send))
+	}
+	if !a.Entered {
+		t.Error("Merge must propagate Entered")
+	}
+	// Entered must never be cleared by merging a non-entered output.
+	a.Merge(Output{})
+	if !a.Entered {
+		t.Error("Merge cleared Entered")
+	}
+}
+
+func TestFailureMsgKind(t *testing.T) {
+	if got := (FailureMsg{Failed: 3}).Kind(); got != KindFailure {
+		t.Errorf("Kind = %q", got)
+	}
+}
+
+func TestKindConstantsDistinct(t *testing.T) {
+	kinds := []string{
+		KindRequest, KindReply, KindRelease, KindInquire,
+		KindFail, KindYield, KindTransfer, KindToken, KindFailure,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,154 @@
+// Package raymond implements Raymond's tree-based token algorithm: sites
+// form a logical (here: balanced binary) tree; each site keeps a holder
+// pointer toward the privilege token and a FIFO queue of neighbours (or
+// itself) wanting it. Requests and the token travel along tree edges, giving
+// O(log N) messages per CS execution on average but a synchronization delay
+// of up to O(log N) hops — the long-delay trade-off the paper contrasts
+// against.
+package raymond
+
+import (
+	"dqmx/internal/mutex"
+)
+
+// requestMsg asks the neighbour closer to the token to send it this way.
+type requestMsg struct{}
+
+// Kind implements mutex.Message.
+func (requestMsg) Kind() string { return mutex.KindRequest }
+
+// tokenMsg passes the privilege one edge down the tree.
+type tokenMsg struct{}
+
+// Kind implements mutex.Message.
+func (tokenMsg) Kind() string { return mutex.KindToken }
+
+// Site is one Raymond participant. The tree structure is implicit: holder
+// always names the neighbouring site in the token's direction, so no
+// explicit adjacency list is needed — requests climb holder pointers and
+// the token descends them.
+type Site struct {
+	id     mutex.SiteID
+	holder mutex.SiteID // self when we hold the token
+	asked  bool         // request already sent toward the holder
+	inCS   bool
+	wantCS bool
+	queue  []mutex.SiteID // neighbours (or self) waiting for the token
+}
+
+var _ mutex.Site = (*Site)(nil)
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.inCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.wantCS && !s.inCS }
+
+// Request implements mutex.Site.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.wantCS || s.inCS {
+		return out
+	}
+	s.wantCS = true
+	s.enqueue(s.id)
+	s.assignPrivilege(&out)
+	s.makeRequest(&out)
+	return out
+}
+
+// Exit implements mutex.Site.
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if !s.inCS {
+		return out
+	}
+	s.inCS = false
+	s.assignPrivilege(&out)
+	s.makeRequest(&out)
+	return out
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch env.Msg.(type) {
+	case requestMsg:
+		s.enqueue(env.From)
+		s.assignPrivilege(&out)
+		s.makeRequest(&out)
+	case tokenMsg:
+		s.holder = s.id
+		s.asked = false
+		s.assignPrivilege(&out)
+		s.makeRequest(&out)
+	}
+	return out
+}
+
+func (s *Site) enqueue(who mutex.SiteID) {
+	for _, q := range s.queue {
+		if q == who {
+			return
+		}
+	}
+	s.queue = append(s.queue, who)
+}
+
+// assignPrivilege grants the token to the queue head when this site holds it
+// and is not using it.
+func (s *Site) assignPrivilege(out *mutex.Output) {
+	if s.holder != s.id || s.inCS || len(s.queue) == 0 {
+		return
+	}
+	head := s.queue[0]
+	s.queue = s.queue[1:]
+	if head == s.id {
+		s.wantCS = false
+		s.inCS = true
+		out.Entered = true
+		return
+	}
+	s.holder = head
+	s.asked = false
+	out.SendTo(s.id, head, tokenMsg{})
+}
+
+// makeRequest asks the holder-side neighbour for the token when work is
+// queued and no request is outstanding.
+func (s *Site) makeRequest(out *mutex.Output) {
+	if s.holder == s.id || len(s.queue) == 0 || s.asked {
+		return
+	}
+	s.asked = true
+	out.SendTo(s.id, s.holder, requestMsg{})
+}
+
+// Algorithm builds Raymond sites over a balanced binary tree in heap layout,
+// with the token initially at site 0 (the root) and every holder pointer on
+// the path toward it.
+type Algorithm struct{}
+
+var _ mutex.Algorithm = Algorithm{}
+
+// Name implements mutex.Algorithm.
+func (Algorithm) Name() string { return "raymond" }
+
+// NewSites implements mutex.Algorithm.
+func (Algorithm) NewSites(n int) ([]mutex.Site, error) {
+	sites := make([]mutex.Site, n)
+	for i := 0; i < n; i++ {
+		holder := mutex.SiteID(0) // the root holds the token
+		if i > 0 {
+			holder = mutex.SiteID((i - 1) / 2) // toward the root
+		}
+		sites[i] = &Site{
+			id:     mutex.SiteID(i),
+			holder: holder,
+		}
+	}
+	return sites, nil
+}

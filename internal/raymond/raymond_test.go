@@ -1,0 +1,96 @@
+package raymond_test
+
+import (
+	"testing"
+
+	"dqmx/internal/raymond"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+const meanDelay = sim.Time(1000)
+
+func runSaturated(t *testing.T, n, perSite int, seed int64, delay sim.Delay) sim.Result {
+	t.Helper()
+	if delay == nil {
+		delay = sim.ConstantDelay{D: meanDelay}
+	}
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: raymond.Algorithm{}, Delay: delay, Seed: seed, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, perSite)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	if got, want := c.Completed(), n*perSite; got != want {
+		t.Fatalf("completed %d of %d", got, want)
+	}
+	return c.Summarize()
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 15, 31} {
+		for seed := int64(1); seed <= 5; seed++ {
+			runSaturated(t, n, 4, seed, nil)
+			runSaturated(t, n, 4, seed, sim.ExponentialDelay{MeanD: meanDelay})
+		}
+	}
+}
+
+// TestRootEntersFree: the root holds the token initially.
+func TestRootEntersFree(t *testing.T) {
+	c, err := sim.NewCluster(sim.Config{N: 7, Algorithm: raymond.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Net.Total() != 0 {
+		t.Errorf("root spent %d messages, want 0", c.Net.Total())
+	}
+}
+
+// TestLeafCostsTwoPerHop: a leaf's uncontended acquisition costs one request
+// and one token per tree edge on the path to the token.
+func TestLeafCostsTwoPerHop(t *testing.T) {
+	// n=7 perfect tree: site 6 is a leaf at depth 2; token at root.
+	c, err := sim.NewCluster(sim.Config{N: 7, Algorithm: raymond.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 6)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Net.Total(), uint64(4); got != want {
+		t.Errorf("messages = %d, want %d (2 hops × (request+token))", got, want)
+	}
+}
+
+// TestAverageMessagesLogarithmic: under heavy load messages per CS stay well
+// below N (they track the tree diameter).
+func TestAverageMessagesLogarithmic(t *testing.T) {
+	n := 31
+	res := runSaturated(t, n, 5, 3, nil)
+	if res.MessagesPerCS > 12 { // 2·(2·log2(31)) is a loose cap
+		t.Errorf("messages/CS = %v, want ≪ N = %d", res.MessagesPerCS, n)
+	}
+}
+
+// TestSyncDelayExceedsT: token hops along tree edges make handovers slower
+// than the quorum algorithms' single delay (on average > 1 T).
+func TestSyncDelayExceedsT(t *testing.T) {
+	res := runSaturated(t, 31, 8, 7, nil)
+	if res.SyncDelaySamples == 0 {
+		t.Fatal("no handover samples")
+	}
+	if res.SyncDelay < 1.0 {
+		t.Errorf("sync delay = %.3f T, expected ≥ 1 T for tree routing", res.SyncDelay)
+	}
+}

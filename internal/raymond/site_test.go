@@ -1,0 +1,107 @@
+package raymond
+
+import (
+	"testing"
+
+	"dqmx/internal/mutex"
+)
+
+// White-box handler tests for the tree-token machinery on the 7-site
+// perfect binary tree (root 0; children of v are 2v+1, 2v+2).
+
+func newTree(t *testing.T) []mutex.Site {
+	t.Helper()
+	sites, err := Algorithm{}.NewSites(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+func TestRootHoldsInitialToken(t *testing.T) {
+	sites := newTree(t)
+	out := sites[0].Request()
+	if !out.Entered || len(out.Send) != 0 {
+		t.Fatalf("root request: entered=%v sends=%d", out.Entered, len(out.Send))
+	}
+}
+
+func TestLeafRequestClimbsOneEdge(t *testing.T) {
+	sites := newTree(t)
+	out := sites[6].Request()
+	if out.Entered {
+		t.Fatal("leaf entered without the token")
+	}
+	if len(out.Send) != 1 || out.Send[0].To != 2 {
+		t.Fatalf("leaf 6 should ask parent 2, got %v", out.Send)
+	}
+	if out.Send[0].Msg.Kind() != mutex.KindRequest {
+		t.Fatalf("kind = %s", out.Send[0].Msg.Kind())
+	}
+}
+
+func TestRequestForwardedNotDuplicated(t *testing.T) {
+	sites := newTree(t)
+	mid := sites[2].(*Site)
+	// First request from child 6 climbs toward the root.
+	out := mid.Deliver(mutex.Envelope{From: 6, To: 2, Msg: requestMsg{}})
+	if len(out.Send) != 1 || out.Send[0].To != 0 {
+		t.Fatalf("expected one forwarded request to 0, got %v", out.Send)
+	}
+	// A second child request must not re-ask (asked flag).
+	out = mid.Deliver(mutex.Envelope{From: 5, To: 2, Msg: requestMsg{}})
+	if len(out.Send) != 0 {
+		t.Fatalf("duplicate upstream request: %v", out.Send)
+	}
+	if len(mid.queue) != 2 {
+		t.Fatalf("queue = %v", mid.queue)
+	}
+}
+
+func TestTokenGrantsHeadAndReAsks(t *testing.T) {
+	sites := newTree(t)
+	mid := sites[2].(*Site)
+	mid.Deliver(mutex.Envelope{From: 6, To: 2, Msg: requestMsg{}})
+	mid.Deliver(mutex.Envelope{From: 5, To: 2, Msg: requestMsg{}})
+	// The token arrives: grant head (6) and immediately re-request for 5.
+	out := mid.Deliver(mutex.Envelope{From: 0, To: 2, Msg: tokenMsg{}})
+	var tokenTo, requestTo mutex.SiteID = -1, -1
+	for _, e := range out.Send {
+		switch e.Msg.Kind() {
+		case mutex.KindToken:
+			tokenTo = e.To
+		case mutex.KindRequest:
+			requestTo = e.To
+		}
+	}
+	if tokenTo != 6 {
+		t.Fatalf("token went to %d, want 6", tokenTo)
+	}
+	if requestTo != 6 {
+		t.Fatalf("follow-up request went to %d, want 6 (the new holder direction)", requestTo)
+	}
+	if mid.holder != 6 {
+		t.Fatalf("holder pointer = %d, want 6", mid.holder)
+	}
+}
+
+func TestExitGrantsQueuedNeighbor(t *testing.T) {
+	sites := newTree(t)
+	root := sites[0].(*Site)
+	root.Request() // root is in the CS
+	root.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{}})
+	out := root.Exit()
+	if len(out.Send) != 1 || out.Send[0].To != 1 || out.Send[0].Msg.Kind() != mutex.KindToken {
+		t.Fatalf("exit should pass the token to 1, got %v", out.Send)
+	}
+}
+
+func TestSelfEnqueueOnlyOnce(t *testing.T) {
+	sites := newTree(t)
+	leaf := sites[6].(*Site)
+	leaf.Request()
+	out := leaf.Request() // second call while pending: no effect
+	if len(out.Send) != 0 || len(leaf.queue) != 1 {
+		t.Fatalf("double request corrupted state: queue=%v sends=%v", leaf.queue, out.Send)
+	}
+}

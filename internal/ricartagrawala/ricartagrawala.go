@@ -1,0 +1,142 @@
+// Package ricartagrawala implements the Ricart–Agrawala optimization of
+// Lamport's algorithm: release messages are merged into deferred replies. A
+// site replies to a request immediately unless it is inside the CS or has an
+// outstanding higher-priority request of its own, in which case the reply is
+// deferred until it exits. 2(N−1) messages per CS execution,
+// synchronization delay T.
+package ricartagrawala
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// requestMsg broadcasts a CS request.
+type requestMsg struct{ TS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (requestMsg) Kind() string { return mutex.KindRequest }
+
+// replyMsg grants permission for request Req.
+type replyMsg struct{ Req timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (replyMsg) Kind() string { return mutex.KindReply }
+
+type siteState int
+
+const (
+	stateIdle siteState = iota + 1
+	stateWaiting
+	stateInCS
+)
+
+// Site is one Ricart–Agrawala participant.
+type Site struct {
+	id    mutex.SiteID
+	n     int
+	clock *timestamp.Clock
+
+	state    siteState
+	reqTS    timestamp.Timestamp
+	replies  map[mutex.SiteID]bool
+	deferred []timestamp.Timestamp // requests to answer at exit
+}
+
+var _ mutex.Site = (*Site)(nil)
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.state == stateInCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.state == stateWaiting }
+
+// Request implements mutex.Site.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.state != stateIdle {
+		return out
+	}
+	s.state = stateWaiting
+	s.reqTS = s.clock.Tick()
+	s.replies = make(map[mutex.SiteID]bool, s.n)
+	for j := 0; j < s.n; j++ {
+		if sid := mutex.SiteID(j); sid != s.id {
+			out.SendTo(s.id, sid, requestMsg{TS: s.reqTS})
+		}
+	}
+	s.checkEntry(&out)
+	return out
+}
+
+// Exit implements mutex.Site: the deferred replies double as releases.
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if s.state != stateInCS {
+		return out
+	}
+	for _, req := range s.deferred {
+		out.SendTo(s.id, req.Site, replyMsg{Req: req})
+	}
+	s.deferred = nil
+	s.state = stateIdle
+	s.reqTS = timestamp.Max
+	s.replies = nil
+	return out
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch m := env.Msg.(type) {
+	case requestMsg:
+		s.clock.Witness(m.TS)
+		// Defer when we are in the CS, or waiting with a higher-priority
+		// request of our own.
+		if s.state == stateInCS || (s.state == stateWaiting && s.reqTS.Less(m.TS)) {
+			s.deferred = append(s.deferred, m.TS)
+		} else {
+			out.SendTo(s.id, m.TS.Site, replyMsg{Req: m.TS})
+		}
+	case replyMsg:
+		if s.state == stateWaiting && m.Req == s.reqTS {
+			s.replies[env.From] = true
+			s.checkEntry(&out)
+		}
+	}
+	return out
+}
+
+func (s *Site) checkEntry(out *mutex.Output) {
+	if s.state != stateWaiting || len(s.replies) < s.n-1 {
+		return
+	}
+	s.state = stateInCS
+	out.Entered = true
+}
+
+// Algorithm builds Ricart–Agrawala sites.
+type Algorithm struct{}
+
+var _ mutex.Algorithm = Algorithm{}
+
+// Name implements mutex.Algorithm.
+func (Algorithm) Name() string { return "ricart-agrawala" }
+
+// NewSites implements mutex.Algorithm.
+func (Algorithm) NewSites(n int) ([]mutex.Site, error) {
+	sites := make([]mutex.Site, n)
+	for i := 0; i < n; i++ {
+		sites[i] = &Site{
+			id:    mutex.SiteID(i),
+			n:     n,
+			clock: timestamp.NewClock(mutex.SiteID(i)),
+			state: stateIdle,
+			reqTS: timestamp.Max,
+		}
+	}
+	return sites, nil
+}

@@ -1,0 +1,84 @@
+package ricartagrawala_test
+
+import (
+	"testing"
+
+	"dqmx/internal/ricartagrawala"
+	"dqmx/internal/sim"
+	"dqmx/internal/workload"
+)
+
+const meanDelay = sim.Time(1000)
+
+func runSaturated(t *testing.T, n, perSite int, seed int64, delay sim.Delay) sim.Result {
+	t.Helper()
+	if delay == nil {
+		delay = sim.ConstantDelay{D: meanDelay}
+	}
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: ricartagrawala.Algorithm{}, Delay: delay, Seed: seed, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, perSite)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	if got, want := c.Completed(), n*perSite; got != want {
+		t.Fatalf("completed %d of %d", got, want)
+	}
+	return c.Summarize()
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		for seed := int64(1); seed <= 5; seed++ {
+			runSaturated(t, n, 4, seed, nil)
+			runSaturated(t, n, 4, seed, sim.ExponentialDelay{MeanD: meanDelay})
+		}
+	}
+}
+
+// TestMessagesAre2N1: exactly 2(N−1) messages per CS execution — the
+// deferred replies replace releases.
+func TestMessagesAre2N1(t *testing.T) {
+	n := 9
+	res := runSaturated(t, n, 5, 2, nil)
+	want := float64(2 * (n - 1))
+	if res.MessagesPerCS != want {
+		t.Errorf("messages/CS = %v, want exactly %v", res.MessagesPerCS, want)
+	}
+}
+
+// TestSyncDelayIsT: a deferred reply flies straight to the next site.
+func TestSyncDelayIsT(t *testing.T) {
+	res := runSaturated(t, 9, 10, 7, nil)
+	if res.SyncDelaySamples == 0 {
+		t.Fatal("no handover samples")
+	}
+	if res.SyncDelay < 0.9 || res.SyncDelay > 1.2 {
+		t.Errorf("sync delay = %.3f T, want ≈ 1 T", res.SyncDelay)
+	}
+}
+
+// TestDeferredReplyPriority: of two concurrent requesters the one with the
+// smaller timestamp must win first.
+func TestDeferredReplyPriority(t *testing.T) {
+	c, err := sim.NewCluster(sim.Config{N: 2, Algorithm: ricartagrawala.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 1) // same tick: site 1 and site 0 both stamp (1, ·)
+	c.RequestAt(0, 0) // site 0 has the smaller site id → higher priority
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Site != 0 {
+		t.Errorf("site %d entered first, want site 0 (higher priority)", recs[0].Site)
+	}
+}

@@ -1,0 +1,82 @@
+package ricartagrawala
+
+import (
+	"testing"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// White-box handler tests for the deferred-reply machinery.
+
+func newSites(t *testing.T, n int) []mutex.Site {
+	t.Helper()
+	sites, err := Algorithm{}.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+func TestIdleSiteRepliesImmediately(t *testing.T) {
+	sites := newSites(t, 2)
+	s := sites[0].(*Site)
+	out := s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{TS: timestamp.Timestamp{Seq: 1, Site: 1}}})
+	if len(out.Send) != 1 || out.Send[0].Msg.Kind() != mutex.KindReply {
+		t.Fatalf("idle site did not reply: %v", out.Send)
+	}
+	if len(s.deferred) != 0 {
+		t.Fatal("idle site deferred")
+	}
+}
+
+func TestInCSDefersUntilExit(t *testing.T) {
+	sites := newSites(t, 2)
+	s := sites[0].(*Site)
+	s.Request()
+	s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: replyMsg{Req: s.reqTS}})
+	if !s.InCS() {
+		t.Fatal("setup: not in CS")
+	}
+	out := s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{TS: timestamp.Timestamp{Seq: 5, Site: 1}}})
+	if len(out.Send) != 0 {
+		t.Fatalf("replied while in CS: %v", out.Send)
+	}
+	out = s.Exit()
+	if len(out.Send) != 1 || out.Send[0].To != 1 || out.Send[0].Msg.Kind() != mutex.KindReply {
+		t.Fatalf("deferred reply not flushed at exit: %v", out.Send)
+	}
+}
+
+func TestWaitingHigherPriorityDefers(t *testing.T) {
+	sites := newSites(t, 3)
+	s := sites[0].(*Site)
+	s.Request() // ts = (1, 0): beats (1, 1) by site id
+	out := s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{TS: timestamp.Timestamp{Seq: 1, Site: 1}}})
+	if len(out.Send) != 0 {
+		t.Fatalf("higher-priority waiter replied: %v", out.Send)
+	}
+	if len(s.deferred) != 1 {
+		t.Fatal("request not deferred")
+	}
+}
+
+func TestWaitingLowerPriorityRepliesImmediately(t *testing.T) {
+	sites := newSites(t, 3)
+	s := sites[2].(*Site)
+	s.Request() // ts = (1, 2)
+	out := s.Deliver(mutex.Envelope{From: 1, To: 2, Msg: requestMsg{TS: timestamp.Timestamp{Seq: 1, Site: 1}}})
+	if len(out.Send) != 1 || out.Send[0].Msg.Kind() != mutex.KindReply {
+		t.Fatalf("lower-priority waiter must grant: %v", out.Send)
+	}
+}
+
+func TestStaleReplyIgnored(t *testing.T) {
+	sites := newSites(t, 2)
+	s := sites[0].(*Site)
+	s.Request()
+	out := s.Deliver(mutex.Envelope{From: 1, To: 0, Msg: replyMsg{Req: timestamp.Timestamp{Seq: 77, Site: 0}}})
+	if out.Entered {
+		t.Fatal("entered on a stale reply")
+	}
+}

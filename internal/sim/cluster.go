@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dqmx/internal/metrics"
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// N is the number of sites.
+	N int
+	// Algorithm supplies the per-site state machines.
+	Algorithm mutex.Algorithm
+	// Delay is the message delay distribution (defaults to ConstantDelay{1000}).
+	Delay Delay
+	// Seed drives all randomness in the run.
+	Seed int64
+	// CSTime is the critical-section execution time E (defaults to 10).
+	CSTime Time
+	// DetectDelay is the failure-detection latency before a crash is
+	// announced to the surviving sites (defaults to 5× the mean delay).
+	DetectDelay Time
+}
+
+// CSRecord captures the lifecycle of one completed critical-section
+// execution.
+type CSRecord struct {
+	Site      mutex.SiteID
+	Requested Time
+	Entered   Time
+	Exited    Time
+}
+
+// ErrSafetyViolation is wrapped by Cluster.Err when two sites ever held the
+// critical section simultaneously.
+var ErrSafetyViolation = errors.New("sim: mutual exclusion violated")
+
+// ErrStarvation is wrapped by Cluster.Err when requests remain pending after
+// the event queue drained.
+var ErrStarvation = errors.New("sim: request never completed")
+
+// Cluster drives one mutex.Algorithm instance over the simulated network,
+// monitors the mutual exclusion invariant at every entry, and records the
+// per-CS timing used to compute the paper's metrics.
+type Cluster struct {
+	cfg     Config
+	Kernel  *Kernel
+	Net     *Network
+	Sites   []mutex.Site
+	crashed map[mutex.SiteID]bool
+
+	inCS       mutex.SiteID
+	violations []string
+	requested  map[mutex.SiteID]Time
+	records    []CSRecord
+	issued     int
+	completed  int
+
+	// OnExit, when non-nil, runs after a site releases the CS; workloads use
+	// it to schedule the site's next request (closed-loop load).
+	OnExit func(c *Cluster, site mutex.SiteID)
+}
+
+// NewCluster builds a cluster from the configuration.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: config needs N > 0, got %d", cfg.N)
+	}
+	if cfg.Algorithm == nil {
+		return nil, errors.New("sim: config needs an algorithm")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = ConstantDelay{D: 1000}
+	}
+	if cfg.CSTime <= 0 {
+		cfg.CSTime = 10
+	}
+	if cfg.DetectDelay <= 0 {
+		cfg.DetectDelay = 5 * cfg.Delay.Mean()
+	}
+	sites, err := cfg.Algorithm.NewSites(cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("sim: build sites: %w", err)
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		Kernel:    &Kernel{},
+		Sites:     sites,
+		crashed:   make(map[mutex.SiteID]bool),
+		inCS:      timestamp.None,
+		requested: make(map[mutex.SiteID]Time, cfg.N),
+	}
+	c.Net = NewNetwork(c.Kernel, cfg.Delay, cfg.Seed, c.deliver)
+	return c, nil
+}
+
+// N returns the number of sites.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// CSTime returns the configured critical-section execution time E.
+func (c *Cluster) CSTime() Time { return c.cfg.CSTime }
+
+// RequestAt schedules site s to issue a CS request at absolute time t.
+func (c *Cluster) RequestAt(t Time, s mutex.SiteID) {
+	c.Kernel.At(t, func() { c.issue(s) })
+}
+
+// RequestNow issues a CS request for site s at the current simulated time.
+func (c *Cluster) RequestNow(s mutex.SiteID) { c.issue(s) }
+
+func (c *Cluster) issue(s mutex.SiteID) {
+	if c.crashed[s] {
+		return
+	}
+	site := c.Sites[s]
+	if site.Pending() || site.InCS() {
+		return // workload raced with an unfinished request; drop
+	}
+	c.issued++
+	c.requested[s] = c.Kernel.Now()
+	c.handle(s, site.Request())
+}
+
+// handle applies one Output: transmits messages and reacts to a CS entry.
+func (c *Cluster) handle(s mutex.SiteID, out mutex.Output) {
+	if out.Entered {
+		c.enter(s)
+	}
+	c.Net.SendAll(out.Send)
+}
+
+func (c *Cluster) enter(s mutex.SiteID) {
+	if c.inCS != timestamp.None && c.inCS != s {
+		c.violations = append(c.violations,
+			fmt.Sprintf("t=%d: site %d entered while site %d was in the CS", c.Kernel.Now(), s, c.inCS))
+	}
+	c.inCS = s
+	rec := CSRecord{Site: s, Requested: c.requested[s], Entered: c.Kernel.Now()}
+	c.records = append(c.records, rec)
+	idx := len(c.records) - 1
+	c.Kernel.After(c.cfg.CSTime, func() { c.exit(s, idx) })
+}
+
+func (c *Cluster) exit(s mutex.SiteID, idx int) {
+	if c.crashed[s] {
+		return // crashed inside the CS; the failure protocol recovers
+	}
+	if c.inCS == s {
+		c.inCS = timestamp.None
+	}
+	c.records[idx].Exited = c.Kernel.Now()
+	c.completed++
+	c.handle(s, c.Sites[s].Exit())
+	if c.OnExit != nil {
+		c.OnExit(c, s)
+	}
+}
+
+func (c *Cluster) deliver(env mutex.Envelope) {
+	if c.crashed[env.To] {
+		return
+	}
+	site := c.Sites[env.To]
+	if f, ok := env.Msg.(mutex.FailureMsg); ok {
+		if fo, ok := site.(mutex.FailureObserver); ok {
+			c.handle(env.To, fo.SiteFailed(f.Failed))
+		}
+		return
+	}
+	c.handle(env.To, site.Deliver(env))
+}
+
+// CrashAt schedules site f to crash at time t. After the configured
+// detection delay the lowest-numbered surviving site announces failure(f) to
+// every surviving site (counted as network messages, as in §6's multicast).
+func (c *Cluster) CrashAt(t Time, f mutex.SiteID) {
+	c.Kernel.At(t, func() {
+		if c.crashed[f] {
+			return
+		}
+		c.crashed[f] = true
+		c.Net.Crash(f)
+		if c.inCS == f {
+			c.inCS = timestamp.None
+		}
+		c.Kernel.After(c.cfg.DetectDelay, func() { c.announceFailure(f) })
+	})
+}
+
+// CutLinkAt schedules the communication link between a and b to fail at
+// time t. After the detection delay each endpoint locally suspects the other
+// (receives a failure notification for it) and — with a fault-tolerant
+// construction — reroutes its quorum around the unreachable site. Mutual
+// exclusion is preserved because quorums computed under different failure
+// views still pairwise intersect.
+func (c *Cluster) CutLinkAt(t Time, a, b mutex.SiteID) {
+	c.Kernel.At(t, func() {
+		c.Net.CutLink(a, b)
+		c.Kernel.After(c.cfg.DetectDelay, func() {
+			if !c.crashed[a] {
+				c.deliver(mutex.Envelope{From: a, To: a, Msg: mutex.FailureMsg{Failed: b}})
+			}
+			if !c.crashed[b] {
+				c.deliver(mutex.Envelope{From: b, To: b, Msg: mutex.FailureMsg{Failed: a}})
+			}
+		})
+	})
+}
+
+func (c *Cluster) announceFailure(f mutex.SiteID) {
+	detector := timestamp.None
+	for i := 0; i < c.cfg.N; i++ {
+		if !c.crashed[mutex.SiteID(i)] {
+			detector = mutex.SiteID(i)
+			break
+		}
+	}
+	if detector == timestamp.None {
+		return
+	}
+	for i := 0; i < c.cfg.N; i++ {
+		s := mutex.SiteID(i)
+		if !c.crashed[s] {
+			c.Net.Send(mutex.Envelope{From: detector, To: s, Msg: mutex.FailureMsg{Failed: f}})
+		}
+	}
+}
+
+// Run executes the simulation until the event queue drains or maxSteps
+// events have run (maxSteps <= 0 means unlimited).
+func (c *Cluster) Run(maxSteps uint64) { c.Kernel.Run(maxSteps) }
+
+// Err reports safety violations and starvation detected during the run. It
+// should be called after Run has drained the event queue.
+func (c *Cluster) Err() error {
+	if len(c.violations) > 0 {
+		return fmt.Errorf("%w: %s (+%d more)", ErrSafetyViolation, c.violations[0], len(c.violations)-1)
+	}
+	for i, site := range c.Sites {
+		if c.crashed[mutex.SiteID(i)] {
+			continue
+		}
+		if site.Pending() {
+			return fmt.Errorf("%w: site %d still pending after quiescence", ErrStarvation, i)
+		}
+	}
+	return nil
+}
+
+// Completed returns the number of finished CS executions.
+func (c *Cluster) Completed() int { return c.completed }
+
+// Issued returns the number of CS requests issued.
+func (c *Cluster) Issued() int { return c.issued }
+
+// Records returns the completed CS records in entry order.
+func (c *Cluster) Records() []CSRecord {
+	out := make([]CSRecord, 0, len(c.records))
+	for _, r := range c.records {
+		// CSTime > 0 guarantees completed executions have Exited > 0;
+		// records with Exited == 0 were cut short by a crash.
+		if r.Exited != 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Entered < out[j].Entered })
+	return out
+}
+
+// Result summarizes one run with the paper's metrics.
+type Result struct {
+	Algorithm     string
+	N             int
+	Completed     int
+	TotalMessages uint64
+	ByKind        map[string]uint64
+	// MessagesPerCS is TotalMessages / Completed.
+	MessagesPerCS float64
+	// SyncDelay is the mean time between one site exiting the CS and the
+	// next site entering it, measured only over handovers where the next
+	// site was already waiting (the paper's heavy-load definition), in units
+	// of the mean message delay T.
+	SyncDelay float64
+	// SyncDelaySamples is the number of handovers measured.
+	SyncDelaySamples int
+	// ResponseTime is the mean request→exit time in units of T.
+	ResponseTime float64
+	// ResponseP99 is the 99th-percentile request→exit time in units of T.
+	ResponseP99 float64
+	// WaitingTime is the mean request→enter time in units of T.
+	WaitingTime float64
+	// WaitingP99 is the 99th-percentile request→enter time in units of T.
+	WaitingP99 float64
+	// Throughput is completed CS executions per T time units.
+	Throughput float64
+}
+
+// Summarize computes the run metrics.
+func (c *Cluster) Summarize() Result {
+	res := Result{
+		Algorithm:     c.cfg.Algorithm.Name(),
+		N:             c.cfg.N,
+		Completed:     c.completed,
+		TotalMessages: c.Net.Total(),
+		ByKind:        c.Net.CountByKind(),
+	}
+	if c.completed > 0 {
+		res.MessagesPerCS = float64(res.TotalMessages) / float64(c.completed)
+	}
+	t := float64(c.Net.MeanDelay())
+	recs := c.Records()
+	var (
+		syncSum, respSum, waitSum float64
+		syncN                     int
+		resps, waits              []float64
+	)
+	for i, r := range recs {
+		if r.Exited == 0 {
+			continue
+		}
+		respSum += float64(r.Exited - r.Requested)
+		waitSum += float64(r.Entered - r.Requested)
+		resps = append(resps, float64(r.Exited-r.Requested))
+		waits = append(waits, float64(r.Entered-r.Requested))
+		if i > 0 {
+			prev := recs[i-1]
+			if prev.Exited != 0 && r.Requested <= prev.Exited && r.Entered >= prev.Exited {
+				syncSum += float64(r.Entered - prev.Exited)
+				syncN++
+			}
+		}
+	}
+	if n := len(recs); n > 0 && t > 0 {
+		res.ResponseTime = respSum / float64(n) / t
+		res.WaitingTime = waitSum / float64(n) / t
+		res.ResponseP99 = metrics.Percentile(resps, 99) / t
+		res.WaitingP99 = metrics.Percentile(waits, 99) / t
+		span := float64(recs[n-1].Exited - recs[0].Requested)
+		if span > 0 {
+			res.Throughput = float64(c.completed) / span * t
+		}
+	}
+	if syncN > 0 && t > 0 {
+		res.SyncDelay = syncSum / float64(syncN) / t
+		res.SyncDelaySamples = syncN
+	}
+	return res
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"dqmx/internal/mutex"
+)
+
+// greedySite enters the CS the moment it is asked — with more than one site
+// this violates mutual exclusion, which the cluster monitor must detect.
+type greedySite struct {
+	id   mutex.SiteID
+	in   bool
+	pend bool
+}
+
+func (g *greedySite) ID() mutex.SiteID { return g.id }
+func (g *greedySite) InCS() bool       { return g.in }
+func (g *greedySite) Pending() bool    { return g.pend }
+func (g *greedySite) Request() mutex.Output {
+	g.in = true
+	return mutex.Output{Entered: true}
+}
+func (g *greedySite) Exit() mutex.Output {
+	g.in = false
+	return mutex.Output{}
+}
+func (g *greedySite) Deliver(mutex.Envelope) mutex.Output { return mutex.Output{} }
+
+type greedyAlg struct{}
+
+func (greedyAlg) Name() string { return "greedy" }
+func (greedyAlg) NewSites(n int) ([]mutex.Site, error) {
+	out := make([]mutex.Site, n)
+	for i := range out {
+		out[i] = &greedySite{id: mutex.SiteID(i)}
+	}
+	return out, nil
+}
+
+// stuckSite never makes progress: requests stay pending forever.
+type stuckSite struct{ greedySite }
+
+func (s *stuckSite) Request() mutex.Output {
+	s.pend = true
+	return mutex.Output{}
+}
+
+type stuckAlg struct{}
+
+func (stuckAlg) Name() string { return "stuck" }
+func (stuckAlg) NewSites(n int) ([]mutex.Site, error) {
+	out := make([]mutex.Site, n)
+	for i := range out {
+		out[i] = &stuckSite{greedySite{id: mutex.SiteID(i)}}
+	}
+	return out, nil
+}
+
+func TestClusterDetectsSafetyViolation(t *testing.T) {
+	c, err := NewCluster(Config{N: 3, Algorithm: greedyAlg{}, Seed: 1, CSTime: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0)
+	c.RequestAt(10, 1) // enters while site 0 still holds the CS
+	c.Run(0)
+	if err := c.Err(); !errors.Is(err, ErrSafetyViolation) {
+		t.Fatalf("Err = %v, want safety violation", err)
+	}
+}
+
+func TestClusterSingleGreedySiteIsFine(t *testing.T) {
+	c, err := NewCluster(Config{N: 1, Algorithm: greedyAlg{}, Seed: 1, CSTime: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0)
+	c.RequestAt(100, 0)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if c.Completed() != 2 {
+		t.Fatalf("Completed = %d, want 2", c.Completed())
+	}
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Exited-recs[0].Entered != 5 {
+		t.Fatalf("CS time = %d, want 5", recs[0].Exited-recs[0].Entered)
+	}
+}
+
+func TestClusterDetectsStarvation(t *testing.T) {
+	c, err := NewCluster(Config{N: 2, Algorithm: stuckAlg{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0)
+	c.Run(0)
+	if err := c.Err(); !errors.Is(err, ErrStarvation) {
+		t.Fatalf("Err = %v, want starvation", err)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{N: 0, Algorithm: greedyAlg{}}); err == nil {
+		t.Error("accepted N=0")
+	}
+	if _, err := NewCluster(Config{N: 3}); err == nil {
+		t.Error("accepted nil algorithm")
+	}
+}
+
+func TestClusterIssueIgnoredWhileBusy(t *testing.T) {
+	c, err := NewCluster(Config{N: 1, Algorithm: greedyAlg{}, CSTime: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0)
+	c.RequestAt(10, 0) // site still in CS: dropped
+	c.Run(0)
+	if c.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1", c.Completed())
+	}
+}
+
+func TestClusterCrashedSiteCannotRequest(t *testing.T) {
+	c, err := NewCluster(Config{N: 2, Algorithm: greedyAlg{}, CSTime: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CrashAt(0, 1)
+	c.RequestAt(50, 1)
+	c.Run(0)
+	if c.Issued() != 0 {
+		t.Fatalf("Issued = %d, want 0", c.Issued())
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}

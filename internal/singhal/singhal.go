@@ -1,0 +1,202 @@
+// Package singhal implements Singhal's dynamic information-structure mutual
+// exclusion algorithm (the "dynamic" row of the paper's Table 1). Each site
+// keeps a request set R (whom to ask) and an inform set I (whom to answer
+// after the CS). Initially the sets form a staircase: R_i = {S_0..S_i}, so
+// on average a request costs (N−1)/2 request messages at light load, rising
+// toward 2(N−1) at heavy load, always with synchronization delay T.
+//
+// The sets evolve to keep the pairwise arbitration invariant: for every pair
+// (i, j), S_i ∈ R_j or S_j ∈ R_i. A site granting a reply first records the
+// grantee in its own request set; the grantee may then drop the granter from
+// its — the "staircase" rotates so the most recent CS executor asks nobody
+// and is asked by everybody.
+package singhal
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// requestMsg asks for permission.
+type requestMsg struct{ TS timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (requestMsg) Kind() string { return mutex.KindRequest }
+
+// replyMsg grants permission for request Req.
+type replyMsg struct{ Req timestamp.Timestamp }
+
+// Kind implements mutex.Message.
+func (replyMsg) Kind() string { return mutex.KindReply }
+
+type siteState int
+
+const (
+	stateIdle siteState = iota + 1
+	stateWaiting
+	stateInCS
+)
+
+// Site is one participant.
+type Site struct {
+	id    mutex.SiteID
+	n     int
+	clock *timestamp.Clock
+
+	state   siteState
+	reqTS   timestamp.Timestamp
+	reqSet  map[mutex.SiteID]bool // R_i: sites to ask
+	inform  map[mutex.SiteID]bool // I_i: sites to answer at exit
+	pending map[mutex.SiteID]bool // replies still awaited this request
+	// deferredTS remembers the request timestamp of each deferred requester
+	// so exit replies can carry it (stale-reply protection).
+	deferredTS map[mutex.SiteID]timestamp.Timestamp
+}
+
+var _ mutex.Site = (*Site)(nil)
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.state == stateInCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.state == stateWaiting }
+
+// RequestSetSize exposes |R_i| for the message-complexity analysis.
+func (s *Site) RequestSetSize() int { return len(s.reqSet) }
+
+// Request implements mutex.Site.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.state != stateIdle {
+		return out
+	}
+	s.state = stateWaiting
+	s.reqTS = s.clock.Tick()
+	s.pending = make(map[mutex.SiteID]bool, len(s.reqSet))
+	// Iterate by site id, not map order, so runs are deterministic.
+	for j := 0; j < s.n; j++ {
+		if sid := mutex.SiteID(j); sid != s.id && s.reqSet[sid] {
+			s.pending[sid] = true
+			out.SendTo(s.id, sid, requestMsg{TS: s.reqTS})
+		}
+	}
+	s.checkEntry(&out)
+	return out
+}
+
+// Exit implements mutex.Site: answer the inform set; every grantee joins the
+// request set (it may enter the CS, so it must be asked next time).
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if s.state != stateInCS {
+		return out
+	}
+	for j := 0; j < s.n; j++ {
+		k := mutex.SiteID(j)
+		if k == s.id || !s.inform[k] {
+			continue
+		}
+		s.reqSet[k] = true
+		out.SendTo(s.id, k, replyMsg{Req: s.deferredTS[k]})
+	}
+	s.inform = map[mutex.SiteID]bool{s.id: true}
+	s.deferredTS = make(map[mutex.SiteID]timestamp.Timestamp)
+	s.state = stateIdle
+	s.reqTS = timestamp.Max
+	s.pending = nil
+	return out
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch m := env.Msg.(type) {
+	case requestMsg:
+		s.onRequest(m, &out)
+	case replyMsg:
+		s.onReply(env.From, m, &out)
+	}
+	return out
+}
+
+func (s *Site) onRequest(m requestMsg, out *mutex.Output) {
+	s.clock.Witness(m.TS)
+	from := m.TS.Site
+	switch {
+	case s.state == stateInCS:
+		// Answer at exit.
+		s.inform[from] = true
+		s.deferredTS[from] = m.TS
+	case s.state == stateWaiting && s.reqTS.Less(m.TS):
+		// Our request wins: the loser waits for our exit.
+		s.inform[from] = true
+		s.deferredTS[from] = m.TS
+	case s.state == stateWaiting:
+		// The incoming request wins: grant immediately, remember the winner
+		// in our request set, and — if we had not asked it — ask now, since
+		// it is about to enter the CS ahead of us.
+		alreadyAsked := s.pending[from]
+		s.reqSet[from] = true
+		out.SendTo(s.id, from, replyMsg{Req: m.TS})
+		if !alreadyAsked {
+			s.pending[from] = true
+			out.SendTo(s.id, from, requestMsg{TS: s.reqTS})
+		}
+	default: // idle
+		s.reqSet[from] = true
+		out.SendTo(s.id, from, replyMsg{Req: m.TS})
+	}
+}
+
+func (s *Site) onReply(from mutex.SiteID, m replyMsg, out *mutex.Output) {
+	if s.state != stateWaiting || m.Req != s.reqTS {
+		return // stale
+	}
+	delete(s.pending, from)
+	// The granter has recorded us in its request set, so the pairwise
+	// invariant lets us drop it from ours.
+	delete(s.reqSet, from)
+	s.checkEntry(out)
+}
+
+func (s *Site) checkEntry(out *mutex.Output) {
+	if s.state != stateWaiting || len(s.pending) > 0 {
+		return
+	}
+	s.state = stateInCS
+	out.Entered = true
+}
+
+// Algorithm builds Singhal dynamic-information sites with the initial
+// staircase: R_i = {S_0, …, S_i}.
+type Algorithm struct{}
+
+var _ mutex.Algorithm = Algorithm{}
+
+// Name implements mutex.Algorithm.
+func (Algorithm) Name() string { return "singhal-dynamic" }
+
+// NewSites implements mutex.Algorithm.
+func (Algorithm) NewSites(n int) ([]mutex.Site, error) {
+	sites := make([]mutex.Site, n)
+	for i := 0; i < n; i++ {
+		reqSet := make(map[mutex.SiteID]bool, i+1)
+		for j := 0; j <= i; j++ {
+			reqSet[mutex.SiteID(j)] = true
+		}
+		sites[i] = &Site{
+			id:         mutex.SiteID(i),
+			n:          n,
+			clock:      timestamp.NewClock(mutex.SiteID(i)),
+			state:      stateIdle,
+			reqTS:      timestamp.Max,
+			reqSet:     reqSet,
+			inform:     map[mutex.SiteID]bool{mutex.SiteID(i): true},
+			deferredTS: make(map[mutex.SiteID]timestamp.Timestamp),
+		}
+	}
+	return sites, nil
+}

@@ -1,0 +1,122 @@
+package singhal_test
+
+import (
+	"testing"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/sim"
+	"dqmx/internal/singhal"
+	"dqmx/internal/workload"
+)
+
+const meanDelay = sim.Time(1000)
+
+func runSaturated(t *testing.T, n, perSite int, seed int64, delay sim.Delay) sim.Result {
+	t.Helper()
+	if delay == nil {
+		delay = sim.ConstantDelay{D: meanDelay}
+	}
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: singhal.Algorithm{}, Delay: delay, Seed: seed, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, perSite)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	if got, want := c.Completed(), n*perSite; got != want {
+		t.Fatalf("completed %d of %d", got, want)
+	}
+	return c.Summarize()
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 16} {
+		for seed := int64(1); seed <= 6; seed++ {
+			runSaturated(t, n, 4, seed, nil)
+			runSaturated(t, n, 4, seed, sim.ExponentialDelay{MeanD: meanDelay})
+		}
+	}
+}
+
+// TestStaircaseLightLoad: site 0's first request asks nobody (its staircase
+// request set is {0}); site N−1 asks everybody.
+func TestStaircaseLightLoad(t *testing.T) {
+	n := 9
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: singhal.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Net.Total() != 0 {
+		t.Errorf("site 0's first request cost %d messages, want 0", c.Net.Total())
+	}
+
+	c, err = sim.NewCluster(sim.Config{N: n, Algorithm: singhal.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, mutex.SiteID(n-1))
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Net.Total(), uint64(2*(n-1)); got != want {
+		t.Errorf("site N-1's first request cost %d messages, want %d", got, want)
+	}
+}
+
+// TestMessagesBetweenN1And2N1: at heavy load the cost approaches 2(N−1) but
+// never exceeds it by more than the extra dynamic requests.
+func TestMessagesBetweenN1And2N1(t *testing.T) {
+	n := 9
+	res := runSaturated(t, n, 10, 3, nil)
+	if res.MessagesPerCS > float64(2*(n-1))+1.0 {
+		t.Errorf("messages/CS = %v, want ≤ ~2(N−1) = %d", res.MessagesPerCS, 2*(n-1))
+	}
+	if res.MessagesPerCS < float64(n-1)/2 {
+		t.Errorf("messages/CS = %v suspiciously low", res.MessagesPerCS)
+	}
+}
+
+// TestSyncDelayIsT: grants travel directly between requesters.
+func TestSyncDelayIsT(t *testing.T) {
+	res := runSaturated(t, 9, 10, 7, nil)
+	if res.SyncDelaySamples == 0 {
+		t.Fatal("no handover samples")
+	}
+	if res.SyncDelay < 0.9 || res.SyncDelay > 1.2 {
+		t.Errorf("sync delay = %.3f T, want ≈ 1 T", res.SyncDelay)
+	}
+}
+
+// TestRequestSetRotates: after executing the CS a site's request set shrinks
+// back toward itself while the others have absorbed it.
+func TestRequestSetRotates(t *testing.T) {
+	n := 5
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: singhal.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 4 (largest staircase set) executes alone.
+	c.RequestAt(0, 4)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s4 := c.Sites[4].(*singhal.Site)
+	if got := s4.RequestSetSize(); got != 1 {
+		t.Errorf("site 4 request set size after CS = %d, want 1 (itself)", got)
+	}
+	for i := 0; i < 4; i++ {
+		s := c.Sites[i].(*singhal.Site)
+		if s.RequestSetSize() < 2 {
+			t.Errorf("site %d should now include site 4: size %d", i, s.RequestSetSize())
+		}
+	}
+}

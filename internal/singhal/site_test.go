@@ -1,0 +1,125 @@
+package singhal
+
+import (
+	"testing"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// White-box handler tests for the dynamic request/inform set machinery.
+
+func newSites(t *testing.T, n int) []mutex.Site {
+	t.Helper()
+	sites, err := Algorithm{}.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+func TestStaircaseInitialization(t *testing.T) {
+	sites := newSites(t, 4)
+	for i, ms := range sites {
+		s := ms.(*Site)
+		if got := s.RequestSetSize(); got != i+1 {
+			t.Errorf("site %d: |R| = %d, want %d", i, got, i+1)
+		}
+		if !s.inform[mutex.SiteID(i)] {
+			t.Errorf("site %d: inform set missing itself", i)
+		}
+	}
+}
+
+func TestSiteZeroEntersImmediately(t *testing.T) {
+	sites := newSites(t, 4)
+	out := sites[0].Request()
+	if !out.Entered || len(out.Send) != 0 {
+		t.Fatalf("site 0 (R={0}) should enter for free: entered=%v sends=%d", out.Entered, len(out.Send))
+	}
+}
+
+func TestIdleGrantAddsGranteeToRequestSet(t *testing.T) {
+	sites := newSites(t, 4)
+	s := sites[0].(*Site)
+	out := s.Deliver(mutex.Envelope{From: 3, To: 0, Msg: requestMsg{TS: ts(1, 3)}})
+	if len(out.Send) != 1 || out.Send[0].Msg.Kind() != mutex.KindReply {
+		t.Fatalf("idle grant = %v", out.Send)
+	}
+	if !s.reqSet[3] {
+		t.Fatal("granter did not record the grantee (invariant violation)")
+	}
+}
+
+func TestGranteeDropsGranter(t *testing.T) {
+	sites := newSites(t, 4)
+	s := sites[3].(*Site)
+	s.Request()
+	my := s.reqTS
+	if !s.reqSet[0] {
+		t.Fatal("setup: site 0 should be in the staircase set")
+	}
+	s.Deliver(mutex.Envelope{From: 0, To: 3, Msg: replyMsg{Req: my}})
+	if s.reqSet[0] {
+		t.Fatal("grantee kept the granter in R (the staircase never rotates)")
+	}
+}
+
+func TestWaitingWinnerDefers(t *testing.T) {
+	sites := newSites(t, 4)
+	s := sites[1].(*Site)
+	s.Request() // ts (1,1)
+	out := s.Deliver(mutex.Envelope{From: 3, To: 1, Msg: requestMsg{TS: ts(5, 3)}})
+	if len(out.Send) != 0 {
+		t.Fatalf("winner must defer the loser: %v", out.Send)
+	}
+	if !s.inform[3] {
+		t.Fatal("loser not recorded in the inform set")
+	}
+}
+
+func TestWaitingLoserGrantsAndChases(t *testing.T) {
+	sites := newSites(t, 4)
+	s := sites[1].(*Site)
+	s.Request()
+	// A higher-priority request from a site we had NOT asked (site 3 is not
+	// in site 1's staircase set {0,1}).
+	out := s.Deliver(mutex.Envelope{From: 3, To: 1, Msg: requestMsg{TS: ts(0, 3)}})
+	var gotReply, gotRequest bool
+	for _, e := range out.Send {
+		switch e.Msg.Kind() {
+		case mutex.KindReply:
+			gotReply = e.To == 3
+		case mutex.KindRequest:
+			gotRequest = e.To == 3
+		}
+	}
+	if !gotReply || !gotRequest {
+		t.Fatalf("loser must grant AND chase the winner: %v", out.Send)
+	}
+	if !s.pending[3] {
+		t.Fatal("the chased winner is not awaited")
+	}
+}
+
+func TestExitAnswersInformSetWithCorrectTimestamps(t *testing.T) {
+	sites := newSites(t, 4)
+	s := sites[0].(*Site)
+	s.Request() // enters immediately
+	s.Deliver(mutex.Envelope{From: 2, To: 0, Msg: requestMsg{TS: ts(7, 2)}})
+	out := s.Exit()
+	if len(out.Send) != 1 || out.Send[0].To != 2 {
+		t.Fatalf("exit replies = %v", out.Send)
+	}
+	r := out.Send[0].Msg.(replyMsg)
+	if r.Req != ts(7, 2) {
+		t.Fatalf("exit reply carries %v, want the deferred request's timestamp", r.Req)
+	}
+	if !s.reqSet[2] {
+		t.Fatal("grantee not added to R at exit")
+	}
+}
+
+func ts(seq uint64, site int) timestamp.Timestamp {
+	return timestamp.Timestamp{Seq: seq, Site: timestamp.SiteID(site)}
+}

@@ -1,0 +1,104 @@
+package suzukikasami
+
+import (
+	"testing"
+
+	"dqmx/internal/mutex"
+)
+
+// White-box handler tests for the token machinery.
+
+func newPair(t *testing.T) (holder, other *Site) {
+	t.Helper()
+	sites, err := Algorithm{}.NewSites(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites[0].(*Site), sites[1].(*Site)
+}
+
+func TestHolderEntersWithoutMessages(t *testing.T) {
+	holder, _ := newPair(t)
+	out := holder.Request()
+	if !out.Entered || len(out.Send) != 0 {
+		t.Fatalf("holder request: entered=%v sends=%d", out.Entered, len(out.Send))
+	}
+}
+
+func TestNonHolderBroadcastsNumberedRequest(t *testing.T) {
+	_, other := newPair(t)
+	out := other.Request()
+	if out.Entered {
+		t.Fatal("entered without the token")
+	}
+	if len(out.Send) != 2 {
+		t.Fatalf("sends = %d, want 2 (N−1 broadcast)", len(out.Send))
+	}
+	for _, e := range out.Send {
+		req, ok := e.Msg.(requestMsg)
+		if !ok || req.From != 1 || req.Num != 1 {
+			t.Fatalf("broadcast payload = %+v", e.Msg)
+		}
+	}
+}
+
+func TestIdleHolderPassesTokenOnFreshRequest(t *testing.T) {
+	holder, _ := newPair(t)
+	out := holder.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{From: 1, Num: 1}})
+	if len(out.Send) != 1 {
+		t.Fatalf("sends = %v", out.Send)
+	}
+	tok, ok := out.Send[0].Msg.(tokenMsg)
+	if !ok || out.Send[0].To != 1 {
+		t.Fatalf("expected token to site 1, got %+v", out.Send[0])
+	}
+	if len(tok.Queue) != 0 {
+		t.Fatalf("token queue = %v, want empty", tok.Queue)
+	}
+	if holder.hasToken {
+		t.Fatal("holder kept the token")
+	}
+}
+
+func TestStaleRequestDoesNotMoveToken(t *testing.T) {
+	holder, _ := newPair(t)
+	// Serve request #1.
+	holder.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{From: 1, Num: 1}})
+	// Token comes back.
+	holder.Deliver(mutex.Envelope{From: 1, To: 0, Msg: tokenMsg{LN: []uint64{0, 1, 0}}})
+	// A duplicate of the already-served request must not move the token.
+	out := holder.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{From: 1, Num: 1}})
+	if len(out.Send) != 0 {
+		t.Fatalf("stale request moved the token: %v", out.Send)
+	}
+	if !holder.hasToken {
+		t.Fatal("holder lost the token to a stale request")
+	}
+}
+
+func TestExitAppendsOutstandingRequesters(t *testing.T) {
+	holder, _ := newPair(t)
+	holder.Request() // enters
+	holder.Deliver(mutex.Envelope{From: 1, To: 0, Msg: requestMsg{From: 1, Num: 1}})
+	holder.Deliver(mutex.Envelope{From: 2, To: 0, Msg: requestMsg{From: 2, Num: 1}})
+	out := holder.Exit()
+	if len(out.Send) != 1 {
+		t.Fatalf("sends = %v", out.Send)
+	}
+	tok := out.Send[0].Msg.(tokenMsg)
+	if out.Send[0].To != 1 {
+		t.Fatalf("token went to %d, want 1 (first requester)", out.Send[0].To)
+	}
+	if len(tok.Queue) != 1 || tok.Queue[0] != 2 {
+		t.Fatalf("token queue = %v, want [2]", tok.Queue)
+	}
+}
+
+func TestTokenArrivalEntersWaitingSite(t *testing.T) {
+	_, other := newPair(t)
+	other.Request()
+	out := other.Deliver(mutex.Envelope{From: 0, To: 1, Msg: tokenMsg{LN: make([]uint64, 3)}})
+	if !out.Entered || !other.InCS() {
+		t.Fatal("token arrival did not grant entry")
+	}
+}

@@ -1,0 +1,170 @@
+// Package suzukikasami implements the Suzuki–Kasami broadcast token
+// algorithm: a single token grants the critical section; a site without the
+// token broadcasts a numbered request, and the token carries the last
+// request number served per site plus a FIFO queue of waiting sites. Message
+// cost is 0 (token already local) or N per CS execution; synchronization
+// delay is T (one token hop).
+package suzukikasami
+
+import (
+	"dqmx/internal/mutex"
+)
+
+// requestMsg broadcasts the requester's current request number.
+type requestMsg struct {
+	From mutex.SiteID
+	Num  uint64
+}
+
+// Kind implements mutex.Message.
+func (requestMsg) Kind() string { return mutex.KindRequest }
+
+// tokenMsg carries the privilege.
+type tokenMsg struct {
+	// LN[j] is the request number of site j's most recently served request.
+	LN []uint64
+	// Queue lists sites waiting for the token, in service order.
+	Queue []mutex.SiteID
+}
+
+// Kind implements mutex.Message.
+func (tokenMsg) Kind() string { return mutex.KindToken }
+
+type siteState int
+
+const (
+	stateIdle siteState = iota + 1
+	stateWaiting
+	stateInCS
+)
+
+// Site is one Suzuki–Kasami participant.
+type Site struct {
+	id mutex.SiteID
+	n  int
+
+	state    siteState
+	rn       []uint64 // highest request number seen per site
+	hasToken bool
+	token    tokenMsg // valid when hasToken
+}
+
+var _ mutex.Site = (*Site)(nil)
+
+// ID implements mutex.Site.
+func (s *Site) ID() mutex.SiteID { return s.id }
+
+// InCS implements mutex.Site.
+func (s *Site) InCS() bool { return s.state == stateInCS }
+
+// Pending implements mutex.Site.
+func (s *Site) Pending() bool { return s.state == stateWaiting }
+
+// Request implements mutex.Site.
+func (s *Site) Request() mutex.Output {
+	var out mutex.Output
+	if s.state != stateIdle {
+		return out
+	}
+	if s.hasToken {
+		s.state = stateInCS
+		out.Entered = true
+		return out
+	}
+	s.state = stateWaiting
+	s.rn[s.id]++
+	for j := 0; j < s.n; j++ {
+		if sid := mutex.SiteID(j); sid != s.id {
+			out.SendTo(s.id, sid, requestMsg{From: s.id, Num: s.rn[s.id]})
+		}
+	}
+	return out
+}
+
+// Exit implements mutex.Site: update the token bookkeeping, enqueue newly
+// outstanding requests, and pass the token to the queue head if any.
+func (s *Site) Exit() mutex.Output {
+	var out mutex.Output
+	if s.state != stateInCS {
+		return out
+	}
+	s.state = stateIdle
+	s.token.LN[s.id] = s.rn[s.id]
+	queued := make(map[mutex.SiteID]bool, len(s.token.Queue))
+	for _, j := range s.token.Queue {
+		queued[j] = true
+	}
+	for j := 0; j < s.n; j++ {
+		sid := mutex.SiteID(j)
+		if sid != s.id && !queued[sid] && s.rn[sid] == s.token.LN[sid]+1 {
+			s.token.Queue = append(s.token.Queue, sid)
+		}
+	}
+	s.passToken(&out)
+	return out
+}
+
+// passToken hands the token to the queue head when the queue is non-empty.
+func (s *Site) passToken(out *mutex.Output) {
+	if !s.hasToken || len(s.token.Queue) == 0 {
+		return
+	}
+	next := s.token.Queue[0]
+	s.token.Queue = s.token.Queue[1:]
+	tok := tokenMsg{LN: append([]uint64(nil), s.token.LN...), Queue: append([]mutex.SiteID(nil), s.token.Queue...)}
+	s.hasToken = false
+	s.token = tokenMsg{}
+	out.SendTo(s.id, next, tok)
+}
+
+// Deliver implements mutex.Site.
+func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
+	var out mutex.Output
+	switch m := env.Msg.(type) {
+	case requestMsg:
+		if m.Num > s.rn[m.From] {
+			s.rn[m.From] = m.Num
+		}
+		// An idle token holder serves the request immediately.
+		if s.hasToken && s.state == stateIdle && s.rn[m.From] == s.token.LN[m.From]+1 {
+			s.token.Queue = append(s.token.Queue, m.From)
+			s.passToken(&out)
+		}
+	case tokenMsg:
+		s.hasToken = true
+		s.token = m
+		if s.state == stateWaiting {
+			s.state = stateInCS
+			out.Entered = true
+		}
+	}
+	return out
+}
+
+// Algorithm builds Suzuki–Kasami sites with site 0 holding the initial
+// token.
+type Algorithm struct{}
+
+var _ mutex.Algorithm = Algorithm{}
+
+// Name implements mutex.Algorithm.
+func (Algorithm) Name() string { return "suzuki-kasami" }
+
+// NewSites implements mutex.Algorithm.
+func (Algorithm) NewSites(n int) ([]mutex.Site, error) {
+	sites := make([]mutex.Site, n)
+	for i := 0; i < n; i++ {
+		st := &Site{
+			id:    mutex.SiteID(i),
+			n:     n,
+			state: stateIdle,
+			rn:    make([]uint64, n),
+		}
+		if i == 0 {
+			st.hasToken = true
+			st.token = tokenMsg{LN: make([]uint64, n)}
+		}
+		sites[i] = st
+	}
+	return sites, nil
+}

@@ -1,0 +1,93 @@
+package suzukikasami_test
+
+import (
+	"testing"
+
+	"dqmx/internal/sim"
+	"dqmx/internal/suzukikasami"
+	"dqmx/internal/workload"
+)
+
+const meanDelay = sim.Time(1000)
+
+func runSaturated(t *testing.T, n, perSite int, seed int64, delay sim.Delay) sim.Result {
+	t.Helper()
+	if delay == nil {
+		delay = sim.ConstantDelay{D: meanDelay}
+	}
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: suzukikasami.Algorithm{}, Delay: delay, Seed: seed, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Saturated(c, perSite)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	if got, want := c.Completed(), n*perSite; got != want {
+		t.Fatalf("completed %d of %d", got, want)
+	}
+	return c.Summarize()
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 16} {
+		for seed := int64(1); seed <= 5; seed++ {
+			runSaturated(t, n, 4, seed, nil)
+			runSaturated(t, n, 4, seed, sim.ExponentialDelay{MeanD: meanDelay})
+		}
+	}
+}
+
+// TestTokenHolderEntersFree: the initial token holder pays zero messages.
+func TestTokenHolderEntersFree(t *testing.T) {
+	c, err := sim.NewCluster(sim.Config{N: 5, Algorithm: suzukikasami.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 0) // site 0 holds the token initially
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Net.Total() != 0 {
+		t.Errorf("token holder spent %d messages, want 0", c.Net.Total())
+	}
+}
+
+// TestNonHolderCostsN: a non-holder pays N−1 requests plus one token move.
+func TestNonHolderCostsN(t *testing.T) {
+	n := 7
+	c, err := sim.NewCluster(sim.Config{N: n, Algorithm: suzukikasami.Algorithm{}, Delay: sim.ConstantDelay{D: meanDelay}, CSTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 3)
+	c.Run(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Net.Total(), uint64(n); got != want {
+		t.Errorf("messages = %d, want %d (N−1 requests + 1 token)", got, want)
+	}
+}
+
+// TestMessagesAtMostN: per CS execution the cost never exceeds N.
+func TestMessagesAtMostN(t *testing.T) {
+	n := 9
+	res := runSaturated(t, n, 5, 3, nil)
+	if res.MessagesPerCS > float64(n) {
+		t.Errorf("messages/CS = %v, want ≤ %d", res.MessagesPerCS, n)
+	}
+}
+
+// TestSyncDelayIsT: the token hops directly between consecutive users.
+func TestSyncDelayIsT(t *testing.T) {
+	res := runSaturated(t, 9, 10, 7, nil)
+	if res.SyncDelaySamples == 0 {
+		t.Fatal("no handover samples")
+	}
+	if res.SyncDelay < 0.9 || res.SyncDelay > 1.2 {
+		t.Errorf("sync delay = %.3f T, want ≈ 1 T", res.SyncDelay)
+	}
+}

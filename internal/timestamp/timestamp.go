@@ -1,0 +1,109 @@
+// Package timestamp implements Lamport logical clocks and the totally
+// ordered request timestamps used by all mutual exclusion algorithms in this
+// repository.
+//
+// A request timestamp is a pair (sequence number, site number). Following
+// Lamport's scheme, the sequence number assigned to a new request is greater
+// than that of any request sent, received, or observed at that site. Ties on
+// the sequence number are broken by the site number, so the order on
+// timestamps is a strict total order: the timestamp with the smaller sequence
+// number has higher priority, and between equal sequence numbers the smaller
+// site number has higher priority.
+package timestamp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SiteID identifies a site (a process and the computer it executes on).
+// Sites are numbered 0..N-1.
+type SiteID int
+
+// None is the SiteID used when no site is meant (for example the second
+// component of a release message that did not transfer a permission).
+const None SiteID = -1
+
+// Timestamp is a Lamport request timestamp (sequence number, site number).
+// The zero value is not a valid request timestamp; use Max for the "no
+// request" sentinel that loses to every real request.
+type Timestamp struct {
+	Seq  uint64
+	Site SiteID
+}
+
+// Max is the sentinel timestamp (max, max) from the paper: it has lower
+// priority than every real request timestamp and marks an unlocked arbiter.
+var Max = Timestamp{Seq: math.MaxUint64, Site: SiteID(math.MaxInt64)}
+
+// IsMax reports whether t is the (max, max) sentinel.
+func (t Timestamp) IsMax() bool { return t == Max }
+
+// Less reports whether t has strictly higher priority than u. Smaller
+// sequence numbers win; ties are broken by smaller site numbers.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.Seq != u.Seq {
+		return t.Seq < u.Seq
+	}
+	return t.Site < u.Site
+}
+
+// Compare returns -1 if t has higher priority than u, +1 if lower, and 0 if
+// the timestamps are identical.
+func (t Timestamp) Compare(u Timestamp) int {
+	switch {
+	case t.Less(u):
+		return -1
+	case u.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the timestamp as "(seq,site)" with "(max,max)" for the
+// sentinel.
+func (t Timestamp) String() string {
+	if t.IsMax() {
+		return "(max,max)"
+	}
+	return fmt.Sprintf("(%d,%d)", t.Seq, t.Site)
+}
+
+// Clock is a Lamport logical clock for a single site. The zero value is a
+// valid clock starting at sequence number 0. Clock is not safe for concurrent
+// use; each site owns exactly one clock and drives it from a single
+// goroutine (or from the single-threaded simulator).
+type Clock struct {
+	site SiteID
+	seq  uint64
+}
+
+// NewClock returns a clock owned by the given site.
+func NewClock(site SiteID) *Clock {
+	return &Clock{site: site}
+}
+
+// Site returns the owning site.
+func (c *Clock) Site() SiteID { return c.site }
+
+// Now returns the current sequence number without advancing the clock.
+func (c *Clock) Now() uint64 { return c.seq }
+
+// Tick advances the clock for a local event and returns a fresh timestamp
+// greater than every timestamp previously seen by this site.
+func (c *Clock) Tick() Timestamp {
+	c.seq++
+	return Timestamp{Seq: c.seq, Site: c.site}
+}
+
+// Witness folds an observed timestamp into the clock so that subsequent
+// Ticks dominate it. Witnessing the Max sentinel is a no-op.
+func (c *Clock) Witness(t Timestamp) {
+	if t.IsMax() {
+		return
+	}
+	if t.Seq > c.seq {
+		c.seq = t.Seq
+	}
+}

@@ -1,0 +1,139 @@
+package timestamp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessPriorityOrder(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Timestamp
+		want bool
+	}{
+		{"smaller seq wins", Timestamp{1, 5}, Timestamp{2, 0}, true},
+		{"larger seq loses", Timestamp{3, 0}, Timestamp{2, 9}, false},
+		{"tie broken by site", Timestamp{2, 1}, Timestamp{2, 2}, true},
+		{"tie broken by site reversed", Timestamp{2, 2}, Timestamp{2, 1}, false},
+		{"equal timestamps", Timestamp{2, 2}, Timestamp{2, 2}, false},
+		{"real beats max", Timestamp{math.MaxUint64 - 1, 0}, Max, true},
+		{"max loses to real", Max, Timestamp{1, 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("Less(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Timestamp{1, 1}
+	b := Timestamp{1, 2}
+	if got := a.Compare(b); got != -1 {
+		t.Errorf("Compare = %d, want -1", got)
+	}
+	if got := b.Compare(a); got != 1 {
+		t.Errorf("Compare = %d, want 1", got)
+	}
+	if got := a.Compare(a); got != 0 {
+		t.Errorf("Compare = %d, want 0", got)
+	}
+}
+
+func TestMaxSentinel(t *testing.T) {
+	if !Max.IsMax() {
+		t.Fatal("Max.IsMax() = false")
+	}
+	if (Timestamp{1, 1}).IsMax() {
+		t.Fatal("real timestamp reported as max")
+	}
+	if Max.String() != "(max,max)" {
+		t.Errorf("Max.String() = %q", Max.String())
+	}
+	if got := (Timestamp{3, 4}).String(); got != "(3,4)" {
+		t.Errorf("String() = %q, want (3,4)", got)
+	}
+}
+
+func TestClockTickMonotone(t *testing.T) {
+	c := NewClock(7)
+	if c.Site() != 7 {
+		t.Fatalf("Site() = %d, want 7", c.Site())
+	}
+	prev := Timestamp{0, 7}
+	for i := 0; i < 100; i++ {
+		ts := c.Tick()
+		if ts.Site != 7 {
+			t.Fatalf("Tick produced site %d, want 7", ts.Site)
+		}
+		if !prev.Less(ts) && i > 0 {
+			t.Fatalf("clock not monotone: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+}
+
+func TestClockWitness(t *testing.T) {
+	c := NewClock(1)
+	c.Witness(Timestamp{41, 9})
+	ts := c.Tick()
+	if ts.Seq != 42 {
+		t.Errorf("after witnessing seq 41, Tick seq = %d, want 42", ts.Seq)
+	}
+	// Witnessing an older timestamp must not regress the clock.
+	c.Witness(Timestamp{5, 3})
+	ts = c.Tick()
+	if ts.Seq != 43 {
+		t.Errorf("after witnessing old ts, Tick seq = %d, want 43", ts.Seq)
+	}
+	// Witnessing the Max sentinel is a no-op.
+	c.Witness(Max)
+	ts = c.Tick()
+	if ts.Seq != 44 {
+		t.Errorf("after witnessing Max, Tick seq = %d, want 44", ts.Seq)
+	}
+	if c.Now() != 44 {
+		t.Errorf("Now() = %d, want 44", c.Now())
+	}
+}
+
+// TestLessIsStrictTotalOrder property-checks irreflexivity, asymmetry,
+// transitivity and totality of the priority order.
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	mk := func(seq uint64, site int16) Timestamp {
+		return Timestamp{Seq: seq % 8, Site: SiteID(site % 8)}
+	}
+	irreflexive := func(s uint64, n int16) bool {
+		a := mk(s, n)
+		return !a.Less(a)
+	}
+	asymmetric := func(s1 uint64, n1 int16, s2 uint64, n2 int16) bool {
+		a, b := mk(s1, n1), mk(s2, n2)
+		return !(a.Less(b) && b.Less(a))
+	}
+	transitive := func(s1 uint64, n1 int16, s2 uint64, n2 int16, s3 uint64, n3 int16) bool {
+		a, b, c := mk(s1, n1), mk(s2, n2), mk(s3, n3)
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	total := func(s1 uint64, n1 int16, s2 uint64, n2 int16) bool {
+		a, b := mk(s1, n1), mk(s2, n2)
+		return a.Less(b) || b.Less(a) || a == b
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	for name, fn := range map[string]any{
+		"irreflexive": irreflexive,
+		"asymmetric":  asymmetric,
+		"transitive":  transitive,
+		"total":       total,
+	} {
+		if err := quick.Check(fn, cfg); err != nil {
+			t.Errorf("%s violated: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"dqmx/internal/mutex"
+)
+
+// heartbeatMsg is the liveness probe exchanged by peers running a failure
+// detector. It is transport-level traffic: nodes never see it.
+type heartbeatMsg struct {
+	From mutex.SiteID
+}
+
+// Kind implements mutex.Message.
+func (heartbeatMsg) Kind() string { return "heartbeat" }
+
+// RegisterGobMessages registers the transport's own wire messages. TCP
+// deployments using the failure detector must call it (in addition to the
+// algorithm's registration).
+func RegisterGobMessages() {
+	gob.Register(heartbeatMsg{})
+	gob.Register(mutex.FailureMsg{})
+}
+
+// KillSite simulates a crash in an in-process cluster: the node's loop stops
+// immediately and, after detectAfter, every surviving node receives a
+// failure(f) notification so the §6 recovery protocol can rebuild quorums.
+// It blocks until the notifications are injected.
+func (c *Cluster) KillSite(id mutex.SiteID, detectAfter time.Duration) {
+	victim := c.node(id)
+	if victim == nil {
+		return
+	}
+	victim.Close()
+	if detectAfter > 0 {
+		time.Sleep(detectAfter)
+	}
+	for _, n := range c.nodes {
+		if n.ID() != id {
+			n.Inject(mutex.Envelope{From: n.ID(), To: n.ID(), Msg: mutex.FailureMsg{Failed: id}})
+		}
+	}
+}
+
+// Detector runs heartbeat-based failure detection for one TCP peer: it
+// probes every known peer on an interval and, when a peer's silence exceeds
+// the timeout, injects a failure notification into the local node (each peer
+// detects independently; the §6 recovery protocol tolerates duplicate and
+// unsynchronized announcements).
+type Detector struct {
+	peer     *TCPPeer
+	interval time.Duration
+	timeout  time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[mutex.SiteID]time.Time
+	declared map[mutex.SiteID]bool
+
+	stopOnce sync.Once
+	stopC    chan struct{}
+	doneC    chan struct{}
+}
+
+// StartDetector begins heartbeating for the peer. interval is the probe
+// period; timeout is the silence threshold for declaring a peer dead
+// (typically 3–5 intervals).
+func (p *TCPPeer) StartDetector(interval, timeout time.Duration) *Detector {
+	d := &Detector{
+		peer:     p,
+		interval: interval,
+		timeout:  timeout,
+		lastSeen: make(map[mutex.SiteID]time.Time),
+		declared: make(map[mutex.SiteID]bool),
+		stopC:    make(chan struct{}),
+		doneC:    make(chan struct{}),
+	}
+	now := time.Now()
+	for id := range p.peers {
+		d.lastSeen[id] = now
+	}
+	p.setHeartbeatSink(d)
+	go d.run()
+	return d
+}
+
+// Stop terminates the detector and waits for its loop to exit.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stopC) })
+	<-d.doneC
+}
+
+// observe records a heartbeat (called from the peer's read loops).
+func (d *Detector) observe(from mutex.SiteID) {
+	d.mu.Lock()
+	d.lastSeen[from] = time.Now()
+	d.mu.Unlock()
+}
+
+// Dead returns the peers this detector has declared failed.
+func (d *Detector) Dead() []mutex.SiteID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]mutex.SiteID, 0, len(d.declared))
+	for id := range d.declared {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (d *Detector) run() {
+	defer close(d.doneC)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	self := d.peer.node.ID()
+	for {
+		select {
+		case <-ticker.C:
+			for id := range d.peer.peers {
+				// Best effort: an unreachable peer shows up as silence.
+				_ = d.peer.Send(mutex.Envelope{From: self, To: id, Msg: heartbeatMsg{From: self}})
+			}
+			now := time.Now()
+			d.mu.Lock()
+			for id, seen := range d.lastSeen {
+				if !d.declared[id] && now.Sub(seen) > d.timeout {
+					d.declared[id] = true
+					d.peer.node.Inject(mutex.Envelope{From: self, To: self, Msg: mutex.FailureMsg{Failed: id}})
+				}
+			}
+			d.mu.Unlock()
+		case <-d.stopC:
+			return
+		}
+	}
+}

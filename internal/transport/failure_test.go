@@ -1,0 +1,162 @@
+package transport_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/transport"
+)
+
+// TestKillSiteRecovery: in-process §6 recovery — after a crashed quorum
+// member is announced, survivors rebuild tree quorums and keep acquiring.
+func TestKillSiteRecovery(t *testing.T) {
+	const n = 15
+	cluster, err := transport.NewCluster(core.Algorithm{Construction: coterie.Tree{}}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Everyone exercises the mutex once before the crash.
+	for i := 0; i < n; i++ {
+		node := cluster.Node(mutex.SiteID(i))
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := node.Acquire(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("pre-crash site %d: %v", i, err)
+		}
+		node.Release()
+	}
+
+	cluster.KillSite(1, 10*time.Millisecond) // inner tree node
+
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			continue
+		}
+		node := cluster.Node(mutex.SiteID(i))
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := node.Acquire(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("post-crash site %d: %v", i, err)
+		}
+		node.Release()
+	}
+}
+
+// TestKillSiteWithoutRecoveryBlocks: without the §6 protocol a dependent
+// request blocks, as the honest semantics require.
+func TestKillSiteWithoutRecoveryBlocks(t *testing.T) {
+	const n = 7
+	cluster, err := transport.NewCluster(core.Algorithm{
+		Construction:    coterie.Tree{},
+		DisableRecovery: true,
+	}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cluster.KillSite(0, 10*time.Millisecond) // the root: in every quorum
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := cluster.Node(3).Acquire(ctx); err == nil {
+		t.Fatal("acquire succeeded although the root is dead and recovery is off")
+	}
+}
+
+// TestTCPDetector: heartbeat detection over real TCP — when one peer dies,
+// the others declare it and the recovery protocol keeps the mutex usable.
+func TestTCPDetector(t *testing.T) {
+	core.RegisterGobMessages()
+	transport.RegisterGobMessages()
+	const n = 3
+	alg := core.Algorithm{Construction: coterie.Majority{}}
+
+	sites, err := alg.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := make([]*transport.TCPPeer, n)
+	addrs := make(map[mutex.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		p, err := transport.NewTCPPeer(sites[i], "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmp[i] = p
+		addrs[mutex.SiteID(i)] = p.Addr()
+	}
+	for _, p := range tmp {
+		p.Close()
+	}
+	sites, err = alg.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]*transport.TCPPeer, n)
+	detectors := make([]*transport.Detector, n)
+	for i := 0; i < n; i++ {
+		book := make(map[mutex.SiteID]string)
+		for j, a := range addrs {
+			if int(j) != i {
+				book[j] = a
+			}
+		}
+		p, err := transport.NewTCPPeer(sites[i], addrs[mutex.SiteID(i)], book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		detectors[i] = p.StartDetector(20*time.Millisecond, 150*time.Millisecond)
+	}
+	defer func() {
+		for i, p := range peers {
+			if i != 2 {
+				detectors[i].Stop()
+				p.Close()
+			}
+		}
+	}()
+
+	// Warm up: site 0 acquires once with all peers alive.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = peers[0].Node().Acquire(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("warm-up acquire: %v", err)
+	}
+	peers[0].Node().Release()
+
+	// Kill peer 2; survivors must detect it.
+	detectors[2].Stop()
+	peers[2].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dead0 := detectors[0].Dead()
+		if len(dead0) == 1 && dead0[0] == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site 0 never declared site 2 dead (declared: %v)", dead0)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The mutex stays usable: majority quorums avoid the dead site.
+	for _, i := range []int{0, 1} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := peers[i].Node().Acquire(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("post-crash acquire by site %d: %v", i, err)
+		}
+		peers[i].Node().Release()
+	}
+}

@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"fmt"
+
+	"dqmx/internal/mutex"
+)
+
+// inprocSender routes envelopes between nodes of the same process.
+type inprocSender struct {
+	cluster *Cluster
+}
+
+// Send implements Sender.
+func (s inprocSender) Send(env mutex.Envelope) error {
+	node := s.cluster.node(env.To)
+	if node == nil {
+		return fmt.Errorf("transport: no node for site %d", env.To)
+	}
+	node.Inject(env)
+	return nil
+}
+
+// Cluster hosts every site of an algorithm in one process, each on its own
+// goroutine, wired by in-memory FIFO mailboxes. It is the easiest way to use
+// the library: build a cluster, then Acquire/Release through its nodes.
+type Cluster struct {
+	nodes []*Node
+}
+
+// NewCluster builds and starts an in-process cluster of n sites.
+func NewCluster(alg mutex.Algorithm, n int) (*Cluster, error) {
+	sites, err := alg.NewSites(n)
+	if err != nil {
+		return nil, fmt.Errorf("transport: build sites: %w", err)
+	}
+	c := &Cluster{nodes: make([]*Node, n)}
+	sender := inprocSender{cluster: c}
+	for i, s := range sites {
+		c.nodes[i] = NewNode(s, sender)
+	}
+	return c, nil
+}
+
+// Node returns the node hosting the given site.
+func (c *Cluster) Node(id mutex.SiteID) *Node { return c.node(id) }
+
+// N returns the number of sites.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+func (c *Cluster) node(id mutex.SiteID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// Close stops every node and waits for their loops to exit.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,193 @@
+// Package transport runs the mutual exclusion state machines outside the
+// simulator: one goroutine per site, with in-process channel wiring for
+// single-binary deployments and a gob-over-TCP transport for real clusters.
+// The protocol code is identical to what the simulator drives — only the
+// message plumbing differs.
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"dqmx/internal/mutex"
+)
+
+var (
+	// ErrBusy is returned by Acquire when the site already holds or is
+	// acquiring the critical section (sites execute requests one by one).
+	ErrBusy = errors.New("transport: site already holds or awaits the critical section")
+	// ErrClosed is returned when the node has shut down.
+	ErrClosed = errors.New("transport: node is closed")
+)
+
+// Sender transmits an envelope toward a remote site. Implementations must
+// preserve per-destination FIFO ordering (the protocol's channel model).
+type Sender interface {
+	Send(env mutex.Envelope) error
+}
+
+// mailbox is an unbounded FIFO of envelopes: the reliable, order-preserving
+// "network buffer" in front of each node. Unboundedness mirrors the system
+// model (reliable channels, no backpressure) and prevents distributed
+// deadlock between node loops sending to each other.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []mutex.Envelope
+	notify chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(env mutex.Envelope) {
+	m.mu.Lock()
+	m.items = append(m.items, env)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) drain() []mutex.Envelope {
+	m.mu.Lock()
+	items := m.items
+	m.items = nil
+	m.mu.Unlock()
+	return items
+}
+
+// Node hosts one site state machine on a dedicated goroutine and exposes a
+// blocking Acquire/Release interface to application code.
+type Node struct {
+	site   mutex.Site
+	sender Sender
+	inbox  *mailbox
+
+	acquireC chan chan error
+	releaseC chan chan struct{}
+	stopOnce sync.Once
+	stopC    chan struct{}
+	doneC    chan struct{}
+
+	waiter chan error // pending Acquire responder, loop-owned
+}
+
+// NewNode starts the node's event loop. sender carries envelopes addressed
+// to other sites; envelopes addressed to this site short-circuit internally.
+func NewNode(site mutex.Site, sender Sender) *Node {
+	n := &Node{
+		site:     site,
+		sender:   sender,
+		inbox:    newMailbox(),
+		acquireC: make(chan chan error),
+		releaseC: make(chan chan struct{}),
+		stopC:    make(chan struct{}),
+		doneC:    make(chan struct{}),
+	}
+	go n.run()
+	return n
+}
+
+// ID returns the hosted site's identifier.
+func (n *Node) ID() mutex.SiteID { return n.site.ID() }
+
+// Inject delivers an incoming envelope (called by transports).
+func (n *Node) Inject(env mutex.Envelope) { n.inbox.put(env) }
+
+// Acquire blocks until the site holds the critical section, the context is
+// cancelled, or the node closes. If the context is cancelled after the
+// request was issued, the eventually acquired critical section is released
+// automatically.
+func (n *Node) Acquire(ctx context.Context) error {
+	resp := make(chan error, 1)
+	select {
+	case n.acquireC <- resp:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.doneC:
+		return ErrClosed
+	}
+	select {
+	case err := <-resp:
+		return err
+	case <-ctx.Done():
+		// The protocol has no cancel message: wait out the grant in the
+		// background and hand it straight back.
+		go func() {
+			if err := <-resp; err == nil {
+				n.Release()
+			}
+		}()
+		return ctx.Err()
+	case <-n.doneC:
+		return ErrClosed
+	}
+}
+
+// Release exits the critical section. It must follow a successful Acquire.
+func (n *Node) Release() {
+	resp := make(chan struct{})
+	select {
+	case n.releaseC <- resp:
+		<-resp
+	case <-n.doneC:
+	}
+}
+
+// Close stops the node's event loop and waits for it to exit.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stopC) })
+	<-n.doneC
+}
+
+func (n *Node) run() {
+	defer close(n.doneC)
+	for {
+		select {
+		case <-n.inbox.notify:
+			for _, env := range n.inbox.drain() {
+				n.apply(n.site.Deliver(env))
+			}
+		case resp := <-n.acquireC:
+			if n.waiter != nil || n.site.InCS() || n.site.Pending() {
+				resp <- ErrBusy
+				continue
+			}
+			n.waiter = resp
+			n.apply(n.site.Request())
+		case resp := <-n.releaseC:
+			n.apply(n.site.Exit())
+			close(resp)
+		case <-n.stopC:
+			return
+		}
+	}
+}
+
+// apply executes one state-machine step's effects: self-addressed envelopes
+// run inline (they are local bookkeeping, not network messages), remote ones
+// go to the sender, and a CS entry wakes the pending Acquire.
+func (n *Node) apply(out mutex.Output) {
+	pending := out.Send
+	entered := out.Entered
+	for len(pending) > 0 {
+		env := pending[0]
+		pending = pending[1:]
+		if env.To == n.site.ID() {
+			next := n.site.Deliver(env)
+			pending = append(pending, next.Send...)
+			entered = entered || next.Entered
+			continue
+		}
+		// Reliable-channel model: transports retry internally; an error here
+		// means the peer is gone, which the failure protocol handles.
+		_ = n.sender.Send(env)
+	}
+	if entered && n.waiter != nil {
+		n.waiter <- nil
+		n.waiter = nil
+	}
+}

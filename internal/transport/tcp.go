@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dqmx/internal/mutex"
+)
+
+// TCPPeer hosts one site of a cluster spread across processes or machines.
+// Envelopes travel as gob streams over one outbound TCP connection per
+// destination, which preserves the protocol's per-channel FIFO requirement.
+// Algorithms must register their message types with encoding/gob first
+// (core.RegisterGobMessages does this for the delay-optimal protocol).
+type TCPPeer struct {
+	node     *Node
+	listener net.Listener
+	peers    map[mutex.SiteID]string
+
+	mu      sync.Mutex
+	conns   map[mutex.SiteID]*gob.Encoder
+	raw     map[mutex.SiteID]net.Conn
+	inbound map[net.Conn]bool
+	hbSink  *Detector // set by StartDetector; receives heartbeat traffic
+
+	stopOnce sync.Once
+	stopC    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewTCPPeer starts a peer for the given site: it listens on listenAddr for
+// inbound protocol traffic and dials the peer addresses lazily on first
+// send. peers maps every other site to its listen address.
+func NewTCPPeer(site mutex.Site, listenAddr string, peers map[mutex.SiteID]string) (*TCPPeer, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	p := &TCPPeer{
+		listener: ln,
+		peers:    make(map[mutex.SiteID]string, len(peers)),
+		conns:    make(map[mutex.SiteID]*gob.Encoder),
+		raw:      make(map[mutex.SiteID]net.Conn),
+		inbound:  make(map[net.Conn]bool),
+		stopC:    make(chan struct{}),
+	}
+	for id, addr := range peers {
+		p.peers[id] = addr
+	}
+	p.node = NewNode(site, p)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Node returns the hosted node for Acquire/Release.
+func (p *TCPPeer) Node() *Node { return p.node }
+
+// Addr returns the peer's actual listen address (useful with ":0").
+func (p *TCPPeer) Addr() string { return p.listener.Addr().String() }
+
+// wireEnvelope is the on-the-wire representation.
+type wireEnvelope struct {
+	From mutex.SiteID
+	To   mutex.SiteID
+	Msg  mutex.Message
+}
+
+// Send implements Sender: one persistent connection per destination, dialed
+// lazily, with a single retry on a broken pipe.
+func (p *TCPPeer) Send(env mutex.Envelope) error {
+	for attempt := 0; attempt < 2; attempt++ {
+		enc, err := p.encoderFor(env.To)
+		if err != nil {
+			return err
+		}
+		if err = enc.Encode(wireEnvelope{From: env.From, To: env.To, Msg: env.Msg}); err == nil {
+			return nil
+		}
+		p.dropConn(env.To)
+	}
+	return fmt.Errorf("transport: send to site %d failed", env.To)
+}
+
+func (p *TCPPeer) encoderFor(id mutex.SiteID) (*gob.Encoder, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if enc, ok := p.conns[id]; ok {
+		return enc, nil
+	}
+	addr, ok := p.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %d", id)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial peer %d: %w", id, err)
+	}
+	enc := gob.NewEncoder(conn)
+	p.conns[id] = enc
+	p.raw[id] = conn
+	return enc, nil
+}
+
+func (p *TCPPeer) dropConn(id mutex.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if conn, ok := p.raw[id]; ok {
+		_ = conn.Close()
+	}
+	delete(p.conns, id)
+	delete(p.raw, id)
+}
+
+func (p *TCPPeer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			select {
+			case <-p.stopC:
+				return
+			default:
+				return // listener broke; the peer is effectively down
+			}
+		}
+		p.mu.Lock()
+		p.inbound[conn] = true
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+func (p *TCPPeer) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		p.mu.Lock()
+		delete(p.inbound, conn)
+		p.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var we wireEnvelope
+		if err := dec.Decode(&we); err != nil {
+			return
+		}
+		if hb, ok := we.Msg.(heartbeatMsg); ok {
+			p.mu.Lock()
+			sink := p.hbSink
+			p.mu.Unlock()
+			if sink != nil {
+				sink.observe(hb.From)
+			}
+			continue
+		}
+		p.node.Inject(mutex.Envelope{From: we.From, To: we.To, Msg: we.Msg})
+	}
+}
+
+// setHeartbeatSink routes incoming heartbeats to the detector.
+func (p *TCPPeer) setHeartbeatSink(d *Detector) {
+	p.mu.Lock()
+	p.hbSink = d
+	p.mu.Unlock()
+}
+
+// Close shuts the peer down: the node loop, the listener, and every
+// connection.
+func (p *TCPPeer) Close() {
+	p.stopOnce.Do(func() { close(p.stopC) })
+	p.node.Close()
+	_ = p.listener.Close()
+	p.mu.Lock()
+	for id, conn := range p.raw {
+		_ = conn.Close()
+		delete(p.conns, id)
+		delete(p.raw, id)
+	}
+	for conn := range p.inbound {
+		_ = conn.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
