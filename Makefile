@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench tables fmt
+
+# The standard gate: what CI and pre-commit should run.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the paper's evaluation (slow).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/benchtab
+
+fmt:
+	gofmt -l -w .

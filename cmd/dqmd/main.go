@@ -8,16 +8,29 @@
 //	dqmd -id 0 -n 3 -listen :7100 -peers 1=localhost:7101,2=localhost:7102 -demo 5
 //	dqmd -id 1 -n 3 -listen :7101 -peers 0=localhost:7100,2=localhost:7102 -demo 5
 //	dqmd -id 2 -n 3 -listen :7102 -peers 0=localhost:7100,1=localhost:7101 -demo 5
+//
+// With -http each site also serves live observability for its own protocol
+// activity:
+//
+//	/metrics     the metrics snapshot as JSON (per-kind message counters,
+//	             messages per CS, sync/response/waiting delay stats in ns)
+//	/debug       a human-readable status page with the snapshot and the
+//	             most recent protocol events
+//	/debug/vars  the same snapshot under the "dqmx" expvar
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dqmx"
@@ -32,15 +45,17 @@ func main() {
 
 func run() error {
 	var (
-		id      = flag.Int("id", 0, "this site's id (0..n-1)")
-		n       = flag.Int("n", 3, "total number of sites")
-		listen  = flag.String("listen", ":7100", "listen address for protocol traffic")
-		peersIn = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
-		quorum  = flag.String("quorum", "grid", "quorum construction: grid, tree, hqc, grid-set, rst, majority")
-		demo    = flag.Int("demo", 0, "acquire/release this many times and exit (0 = interactive)")
-		settle  = flag.Duration("settle", 2*time.Second, "wait before the demo starts so peers can come up")
+		id       = flag.Int("id", 0, "this site's id (0..n-1)")
+		n        = flag.Int("n", 3, "total number of sites")
+		listen   = flag.String("listen", ":7100", "listen address for protocol traffic")
+		peersIn  = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
+		quorum   = flag.String("quorum", "grid", "quorum construction: "+quorumNames())
+		demo     = flag.Int("demo", 0, "acquire/release this many times and exit (0 = interactive)")
+		settle   = flag.Duration("settle", 2*time.Second, "wait before the demo starts so peers can come up")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug and /debug/vars on this address")
 	)
 	flag.Parse()
+	begin := time.Now()
 
 	peers := map[dqmx.SiteID]string{}
 	if *peersIn != "" {
@@ -57,18 +72,133 @@ func run() error {
 		}
 	}
 
-	peer, err := dqmx.NewTCPNode(*n, dqmx.SiteID(*id), *listen, peers, dqmx.Options{Quorum: dqmx.Quorum(*quorum)})
+	opts := dqmx.Options{Quorum: dqmx.Quorum(*quorum)}
+	var ring *ringLog
+	if *httpAddr != "" {
+		// The HTTP endpoints need the aggregator and a recent-event log.
+		opts.Metrics = true
+		ring = newRingLog(256)
+		opts.Observer = ring.observe
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+
+	peer, err := dqmx.NewTCPNode(*n, dqmx.SiteID(*id), *listen, peers, opts)
 	if err != nil {
 		return err
 	}
 	defer peer.Close()
 	fmt.Printf("site %d/%d listening on %s (quorum: %s)\n", *id, *n, peer.Addr(), *quorum)
 
+	if *httpAddr != "" {
+		if err := serveHTTP(*httpAddr, *id, *n, peer, ring); err != nil {
+			return err
+		}
+	}
+
 	if *demo > 0 {
-		time.Sleep(*settle)
+		// Measure the settle window from process start so slower startup
+		// paths (e.g. bringing up the HTTP server) don't skew this site's
+		// demo behind its peers'.
+		if d := *settle - time.Since(begin); d > 0 {
+			time.Sleep(d)
+		}
 		return runDemo(peer, *id, *demo)
 	}
 	return runInteractive(peer, *id)
+}
+
+func quorumNames() string {
+	qs := dqmx.Quorums()
+	names := make([]string, len(qs))
+	for i, q := range qs {
+		names[i] = string(q)
+	}
+	return strings.Join(names, ", ")
+}
+
+// ringLog retains the most recent protocol events for /debug.
+type ringLog struct {
+	mu   sync.Mutex
+	buf  []dqmx.TraceEvent
+	next int
+	full bool
+}
+
+func newRingLog(n int) *ringLog {
+	return &ringLog{buf: make([]dqmx.TraceEvent, n)}
+}
+
+func (r *ringLog) observe(e dqmx.TraceEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+func (r *ringLog) events() []dqmx.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]dqmx.TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]dqmx.TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog) error {
+	snapshot := func() dqmx.MetricsSnapshot {
+		s, _ := peer.Snapshot()
+		return s
+	}
+	expvar.Publish("dqmx", expvar.Func(func() any { return snapshot() }))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshot())
+	})
+	http.HandleFunc("/debug", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s := snapshot()
+		fmt.Fprintf(w, "site %d of %d\n\n", id, n)
+		fmt.Fprintf(w, "requests %d  entries %d  exits %d  failures %d  recoveries %d\n",
+			s.Requests, s.Entries, s.Exits, s.Failures, s.Recoveries)
+		fmt.Fprintf(w, "messages %d (%.2f per CS)\n", s.Messages, s.MessagesPerCS)
+		for _, kind := range s.Kinds() {
+			fmt.Fprintf(w, "  %-10s %d\n", kind, s.ByKind[kind])
+		}
+		fmt.Fprintf(w, "sync delay  %s\nresponse    %s\nwaiting     %s\n",
+			fmtDelay(s.SyncDelay), fmtDelay(s.Response), fmtDelay(s.Waiting))
+		fmt.Fprintf(w, "\nrecent events (oldest first):\n")
+		for _, e := range ring.events() {
+			fmt.Fprintln(w, e)
+		}
+	})
+	errC := make(chan error, 1)
+	go func() { errC <- http.ListenAndServe(addr, nil) }()
+	// Give a bad address a moment to fail loudly instead of dying silently
+	// in the background.
+	select {
+	case err := <-errC:
+		return fmt.Errorf("http %s: %w", addr, err)
+	case <-time.After(100 * time.Millisecond):
+		fmt.Printf("site %d serving /metrics and /debug on %s\n", id, addr)
+		return nil
+	}
+}
+
+func fmtDelay(d dqmx.DelayStats) string {
+	if d.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p99=%v",
+		d.Count, time.Duration(d.Mean), time.Duration(d.P99))
 }
 
 func runDemo(peer *dqmx.TCPPeer, id, rounds int) error {
@@ -83,7 +213,9 @@ func runDemo(peer *dqmx.TCPPeer, id, rounds int) error {
 		}
 		fmt.Printf("site %d: entered CS (round %d, waited %v)\n", id, k, time.Since(start).Round(time.Millisecond))
 		time.Sleep(50 * time.Millisecond) // the critical section
-		node.Release()
+		if err := node.Release(); err != nil {
+			return fmt.Errorf("round %d release: %w", k, err)
+		}
 		fmt.Printf("site %d: exited CS (round %d)\n", id, k)
 	}
 	return nil
@@ -92,13 +224,15 @@ func runDemo(peer *dqmx.TCPPeer, id, rounds int) error {
 func runInteractive(peer *dqmx.TCPPeer, id int) error {
 	node := peer.Node()
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("commands: acquire | release | quit")
+	fmt.Println("commands: acquire | try <timeout> | release | quit")
 	for {
 		fmt.Printf("site%d> ", id)
 		if !sc.Scan() {
 			return sc.Err()
 		}
-		switch strings.TrimSpace(sc.Text()) {
+		line := strings.TrimSpace(sc.Text())
+		cmd, arg, _ := strings.Cut(line, " ")
+		switch cmd {
 		case "acquire":
 			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 			err := node.Acquire(ctx)
@@ -108,8 +242,32 @@ func runInteractive(peer *dqmx.TCPPeer, id int) error {
 				continue
 			}
 			fmt.Println("in critical section")
+		case "try":
+			timeout := 100 * time.Millisecond
+			if arg != "" {
+				d, err := time.ParseDuration(strings.TrimSpace(arg))
+				if err != nil {
+					fmt.Println("bad timeout:", err)
+					continue
+				}
+				timeout = d
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			ok, err := node.TryAcquire(ctx)
+			cancel()
+			switch {
+			case err != nil:
+				fmt.Println("try failed:", err)
+			case ok:
+				fmt.Println("in critical section")
+			default:
+				fmt.Println("not acquired within", timeout)
+			}
 		case "release":
-			node.Release()
+			if err := node.Release(); err != nil {
+				fmt.Println("release failed:", err)
+				continue
+			}
 			fmt.Println("released")
 		case "quit", "exit":
 			return nil

@@ -5,25 +5,25 @@
 //
 //	dqmsim -alg delay-optimal -quorum tree -n 25 -load heavy -persite 10 \
 //	       -delay exp -seed 7
+//
+// With -trace the full protocol event log (requests, every message send
+// with its kind, CS entries/exits, failure handling) is dumped one line per
+// event, '-' for stdout or a file path.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"dqmx/internal/core"
-	"dqmx/internal/coterie"
 	"dqmx/internal/harness"
-	"dqmx/internal/lamport"
-	"dqmx/internal/maekawa"
 	"dqmx/internal/metrics"
 	"dqmx/internal/mutex"
-	"dqmx/internal/raymond"
-	"dqmx/internal/ricartagrawala"
+	"dqmx/internal/obs"
 	"dqmx/internal/sim"
-	"dqmx/internal/singhal"
-	"dqmx/internal/suzukikasami"
 )
 
 func main() {
@@ -35,8 +35,8 @@ func main() {
 
 func run() error {
 	var (
-		algName    = flag.String("alg", "delay-optimal", "algorithm: delay-optimal, maekawa, lamport, ricart-agrawala, singhal-dynamic, suzuki-kasami, raymond")
-		quorumName = flag.String("quorum", "grid", "coterie for quorum algorithms: grid, tree, hqc, grid-set, rst, majority, singleton")
+		algName    = flag.String("alg", "delay-optimal", "algorithm: "+strings.Join(harness.ProtocolNames(), ", "))
+		quorumName = flag.String("quorum", "grid", "coterie for quorum algorithms: "+strings.Join(harness.QuorumNames(), ", "))
 		n          = flag.Int("n", 25, "number of sites")
 		loadName   = flag.String("load", "heavy", "workload: light, heavy, think")
 		think      = flag.Int64("think", 10000, "mean think time for -load think")
@@ -45,14 +45,15 @@ func run() error {
 		delayName  = flag.String("delay", "const", "delay distribution: const, uniform, exp")
 		meanDelay  = flag.Int64("T", 1000, "mean message delay T")
 		csTime     = flag.Int64("E", 10, "critical section execution time E")
+		tracePath  = flag.String("trace", "", "dump the protocol event log: '-' for stdout, else a file path")
 	)
 	flag.Parse()
 
-	cons, err := constructionByName(*quorumName)
+	cons, err := harness.NewConstruction(*quorumName)
 	if err != nil {
 		return err
 	}
-	alg, err := algorithmByName(*algName, cons)
+	alg, err := harness.NewAlgorithm(*algName, cons, false)
 	if err != nil {
 		return err
 	}
@@ -65,7 +66,7 @@ func run() error {
 	case "exp":
 		delay = sim.ExponentialDelay{MeanD: sim.Time(*meanDelay)}
 	default:
-		return fmt.Errorf("unknown delay distribution %q", *delayName)
+		return fmt.Errorf("unknown delay distribution %q (valid: const, uniform, exp)", *delayName)
 	}
 	var load harness.LoadKind
 	switch *loadName {
@@ -76,13 +77,36 @@ func run() error {
 	case "think":
 		load = harness.Think
 	default:
-		return fmt.Errorf("unknown load %q", *loadName)
+		return fmt.Errorf("unknown load %q (valid: light, heavy, think)", *loadName)
+	}
+
+	var (
+		observer obs.Sink
+		flush    = func() error { return nil }
+	)
+	if *tracePath != "" {
+		var w io.Writer = os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		bw := bufio.NewWriter(w)
+		flush = bw.Flush
+		observer = func(e obs.Event) { fmt.Fprintln(bw, e) }
 	}
 
 	res, err := harness.Run(harness.Spec{
 		N: *n, Algorithm: alg, Load: load, ThinkTime: sim.Time(*think),
 		PerSite: *perSite, Seed: *seed, Delay: delay, CSTime: sim.Time(*csTime),
+		Observer: observer,
 	})
+	if ferr := flush(); err == nil && ferr != nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -98,57 +122,10 @@ func run() error {
 	fmt.Printf("throughput       %.3f CS per T\n\n", res.Throughput)
 
 	tab := metrics.NewTable("message kind", "count")
-	for _, kind := range []string{
-		mutex.KindRequest, mutex.KindReply, mutex.KindRelease, mutex.KindInquire,
-		mutex.KindFail, mutex.KindYield, mutex.KindTransfer, mutex.KindToken,
-	} {
+	for _, kind := range mutex.Kinds() {
 		if c := res.ByKind[kind]; c > 0 {
 			tab.AddRow(kind, c)
 		}
 	}
 	return tab.Render(os.Stdout)
-}
-
-func constructionByName(name string) (coterie.Construction, error) {
-	for _, c := range coterie.Constructions() {
-		if c.Name() == name {
-			return c, nil
-		}
-	}
-	switch name {
-	case "grid":
-		return coterie.Grid{}, nil
-	case "tree":
-		return coterie.Tree{}, nil
-	case "grid-set":
-		return coterie.GridSet{}, nil
-	case "rst":
-		return coterie.RST{}, nil
-	case "fpp":
-		return coterie.FPP{}, nil
-	case "wall", "crumbling-wall":
-		return coterie.Wall{}, nil
-	}
-	return nil, fmt.Errorf("unknown quorum construction %q", name)
-}
-
-func algorithmByName(name string, cons coterie.Construction) (mutex.Algorithm, error) {
-	switch name {
-	case "delay-optimal":
-		return core.Algorithm{Construction: cons}, nil
-	case "maekawa":
-		return maekawa.Algorithm{Construction: cons}, nil
-	case "lamport":
-		return lamport.Algorithm{}, nil
-	case "ricart-agrawala":
-		return ricartagrawala.Algorithm{}, nil
-	case "singhal-dynamic":
-		return singhal.Algorithm{}, nil
-	case "suzuki-kasami":
-		return suzukikasami.Algorithm{}, nil
-	case "raymond":
-		return raymond.Algorithm{}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
 }

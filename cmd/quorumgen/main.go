@@ -15,7 +15,7 @@ import (
 	"strconv"
 	"strings"
 
-	"dqmx/internal/coterie"
+	"dqmx/internal/harness"
 	"dqmx/internal/metrics"
 	"dqmx/internal/timestamp"
 )
@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		name   = flag.String("q", "grid", "construction: maekawa-grid/grid, ae-tree/tree, hqc, grid-set, rst, majority, singleton")
+		name   = flag.String("q", "grid", "construction: "+strings.Join(harness.QuorumNames(), ", "))
 		n      = flag.Int("n", 9, "number of sites")
 		downs  = flag.String("down", "", "comma-separated failed sites")
 		site   = flag.Int("site", -1, "only print the quorum of this site")
@@ -37,7 +37,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	cons, err := constructionByName(*name)
+	cons, err := harness.NewConstruction(*name)
 	if err != nil {
 		return err
 	}
@@ -95,29 +95,4 @@ func run() error {
 		tab.AddRow(i, q.String(), len(q))
 	}
 	return tab.Render(os.Stdout)
-}
-
-func constructionByName(name string) (coterie.Construction, error) {
-	switch name {
-	case "grid", "maekawa-grid":
-		return coterie.Grid{}, nil
-	case "tree", "ae-tree":
-		return coterie.Tree{}, nil
-	case "hqc":
-		return coterie.HQC{}, nil
-	case "grid-set":
-		return coterie.GridSet{}, nil
-	case "rst":
-		return coterie.RST{}, nil
-	case "fpp":
-		return coterie.FPP{}, nil
-	case "wall", "crumbling-wall":
-		return coterie.Wall{}, nil
-	case "majority":
-		return coterie.Majority{}, nil
-	case "singleton":
-		return coterie.Singleton{}, nil
-	default:
-		return nil, fmt.Errorf("unknown construction %q", name)
-	}
 }

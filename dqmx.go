@@ -36,14 +36,9 @@ import (
 	"dqmx/internal/core"
 	"dqmx/internal/coterie"
 	"dqmx/internal/harness"
-	"dqmx/internal/lamport"
-	"dqmx/internal/maekawa"
 	"dqmx/internal/mutex"
-	"dqmx/internal/raymond"
-	"dqmx/internal/ricartagrawala"
+	"dqmx/internal/obs"
 	"dqmx/internal/sim"
-	"dqmx/internal/singhal"
-	"dqmx/internal/suzukikasami"
 	"dqmx/internal/transport"
 	"dqmx/internal/workload"
 )
@@ -80,7 +75,25 @@ const (
 	WallQuorums Quorum = "wall"
 	// MajorityQuorums need ⌊N/2⌋+1 sites: maximal resiliency, O(N) cost.
 	MajorityQuorums Quorum = "majority"
+	// FPPQuorums come from finite projective planes: the optimal
+	// K ≈ √N quorum size, defined only for plane-order system sizes.
+	FPPQuorums Quorum = "fpp"
+	// SingletonQuorums route everything through site 0: a degenerate
+	// central-coordinator coterie, useful as a baseline and in tests.
+	SingletonQuorums Quorum = "singleton"
 )
+
+// Quorums enumerates every valid quorum construction name, in canonical
+// order. Flag parsing and validation should use this instead of keeping a
+// private copy of the list.
+func Quorums() []Quorum {
+	names := harness.QuorumNames()
+	out := make([]Quorum, len(names))
+	for i, n := range names {
+		out[i] = Quorum(n)
+	}
+	return out
+}
 
 // Protocol names a mutual exclusion algorithm.
 type Protocol string
@@ -104,6 +117,51 @@ const (
 	Raymond Protocol = "raymond"
 )
 
+// Protocols enumerates every valid protocol name, the paper's contribution
+// first. Flag parsing and validation should use this instead of keeping a
+// private copy of the list.
+func Protocols() []Protocol {
+	names := harness.ProtocolNames()
+	out := make([]Protocol, len(names))
+	for i, n := range names {
+		out[i] = Protocol(n)
+	}
+	return out
+}
+
+// TraceEvent is one structured protocol event: a request issued, a message
+// sent (with its kind), a critical-section entry or exit, or failure
+// handling. Timestamps are simulated ticks under Simulate and monotonic
+// nanoseconds on live clusters.
+type TraceEvent = obs.Event
+
+// EventType enumerates the protocol lifecycle events.
+type EventType = obs.EventType
+
+// Protocol event types delivered to an Observer.
+const (
+	EventRequest  = obs.EventRequest
+	EventSend     = obs.EventSend
+	EventEnter    = obs.EventEnter
+	EventExit     = obs.EventExit
+	EventFailure  = obs.EventFailure
+	EventRecovery = obs.EventRecovery
+)
+
+// TraceSink receives the protocol event stream. Sinks run inline on the
+// protocol hot path: they must be fast and must not block.
+type TraceSink = obs.Sink
+
+// MetricsSnapshot is a point-in-time copy of a cluster's aggregated
+// metrics: per-kind message counters, messages per CS execution, and delay
+// distributions (synchronization delay, response time, waiting time) in the
+// driver's time unit.
+type MetricsSnapshot = obs.Snapshot
+
+// DelayStats summarizes one delay distribution (count, mean, min/max, and
+// log-bucket p50/p99).
+type DelayStats = obs.DelayStats
+
 // Options configures a cluster or simulation.
 type Options struct {
 	// Protocol defaults to DelayOptimal.
@@ -114,28 +172,31 @@ type Options struct {
 	// DisableRecovery turns off the §6 failure recovery of the
 	// delay-optimal protocol.
 	DisableRecovery bool
+	// Observer, when non-nil, receives every protocol event. It applies to
+	// clusters (NewClusterWith, NewTCPNode) and simulations (Simulate,
+	// SimulateWithCrashes).
+	Observer TraceSink
+	// Metrics enables the built-in metrics aggregator on live clusters,
+	// exposed through Cluster.Snapshot and TCPPeer.Snapshot. When false
+	// (and Observer is nil) the event path costs a single nil check.
+	// Simulations report metrics through SimulationResult instead.
+	Metrics bool
+}
+
+// Validate checks that the options name a known protocol and quorum
+// construction; its error lists the valid choices.
+func (o Options) Validate() error {
+	_, err := o.algorithm()
+	return err
 }
 
 // Construction returns the coterie construction named by q.
 func (q Quorum) construction() (coterie.Construction, error) {
-	switch q {
-	case "", GridQuorums:
-		return coterie.Grid{}, nil
-	case TreeQuorums:
-		return coterie.Tree{}, nil
-	case HQCQuorums:
-		return coterie.HQC{}, nil
-	case GridSetQuorums:
-		return coterie.GridSet{}, nil
-	case RSTQuorums:
-		return coterie.RST{}, nil
-	case WallQuorums:
-		return coterie.Wall{}, nil
-	case MajorityQuorums:
-		return coterie.Majority{}, nil
-	default:
-		return nil, fmt.Errorf("dqmx: unknown quorum construction %q", q)
+	cons, err := harness.NewConstruction(string(q))
+	if err != nil {
+		return nil, fmt.Errorf("dqmx: %w", err)
 	}
+	return cons, nil
 }
 
 // algorithm materializes the options into a protocol implementation.
@@ -144,24 +205,11 @@ func (o Options) algorithm() (mutex.Algorithm, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch o.Protocol {
-	case "", DelayOptimal:
-		return core.Algorithm{Construction: cons, DisableRecovery: o.DisableRecovery}, nil
-	case Maekawa:
-		return maekawa.Algorithm{Construction: cons}, nil
-	case Lamport:
-		return lamport.Algorithm{}, nil
-	case RicartAgrawala:
-		return ricartagrawala.Algorithm{}, nil
-	case SinghalDynamic:
-		return singhal.Algorithm{}, nil
-	case SuzukiKasami:
-		return suzukikasami.Algorithm{}, nil
-	case Raymond:
-		return raymond.Algorithm{}, nil
-	default:
-		return nil, fmt.Errorf("dqmx: unknown protocol %q", o.Protocol)
+	alg, err := harness.NewAlgorithm(string(o.Protocol), cons, o.DisableRecovery)
+	if err != nil {
+		return nil, fmt.Errorf("dqmx: %w", err)
 	}
+	return alg, nil
 }
 
 // Cluster hosts all N sites in one process.
@@ -182,11 +230,19 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := transport.NewCluster(alg, n)
+	inner, err := transport.NewClusterObserved(alg, n, opts.collector(), opts.Observer)
 	if err != nil {
 		return nil, err
 	}
 	return &Cluster{inner: inner}, nil
+}
+
+// collector builds the metrics aggregator when Options.Metrics asks for one.
+func (o Options) collector() *obs.Metrics {
+	if !o.Metrics {
+		return nil
+	}
+	return obs.NewMetrics()
 }
 
 // Node returns the handle for one site.
@@ -195,11 +251,19 @@ func (c *Cluster) Node(id SiteID) *Node { return c.inner.Node(id) }
 // N returns the number of sites.
 func (c *Cluster) N() int { return c.inner.N() }
 
+// Snapshot returns the cluster's aggregated live metrics — per-kind message
+// counters and delay distributions over all sites, with nanosecond
+// timestamps. ok is false unless the cluster was built with
+// Options.Metrics.
+func (c *Cluster) Snapshot() (snap MetricsSnapshot, ok bool) { return c.inner.Snapshot() }
+
 // Close shuts every site down.
 func (c *Cluster) Close() { c.inner.Close() }
 
 // NewTCPNode starts site id of an n-site delay-optimal cluster whose sites
 // communicate over TCP. peers maps every other site to its listen address.
+// With Options.Metrics the peer's own protocol activity is aggregated and
+// exposed through TCPPeer.Snapshot.
 func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, opts Options) (*TCPPeer, error) {
 	alg, err := opts.algorithm()
 	if err != nil {
@@ -213,7 +277,7 @@ func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 		return nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
 	}
 	core.RegisterGobMessages()
-	return transport.NewTCPPeer(sites[id], listenAddr, peers)
+	return transport.NewTCPPeerObserved(sites[id], listenAddr, peers, opts.collector(), opts.Observer)
 }
 
 // SimulationResult reports the metrics of one simulated run in the paper's
@@ -256,6 +320,7 @@ func Simulate(n int, opts Options, load LoadShape, perSite int, seed int64) (Sim
 	}
 	res, err := harness.Run(harness.Spec{
 		N: n, Algorithm: alg, Load: kind, PerSite: perSite, Seed: seed,
+		Observer: opts.Observer,
 	})
 	if err != nil {
 		return SimulationResult{}, err
@@ -292,6 +357,7 @@ func SimulateWithCrashes(n int, opts Options, perSite int, crashes []CrashEvent,
 	const meanDelay = sim.Time(1000)
 	cluster, err := sim.NewCluster(sim.Config{
 		N: n, Algorithm: alg, Delay: sim.ConstantDelay{D: meanDelay}, Seed: seed, CSTime: 10,
+		Observer: opts.Observer,
 	})
 	if err != nil {
 		return SimulationResult{}, err

@@ -24,9 +24,38 @@ func ExampleNewCluster() {
 		log.Fatal(err)
 	}
 	fmt.Println("site 2 is in the critical section")
-	node.Release()
+	if err := node.Release(); err != nil {
+		log.Fatal(err)
+	}
 	// Output:
 	// site 2 is in the critical section
+}
+
+// ExampleCluster_Snapshot enables the live metrics aggregator and reads the
+// per-execution message cost of an uncontended round: exactly 3(K−1) = 12
+// messages on the 3×3 grid.
+func ExampleCluster_Snapshot() {
+	cluster, err := dqmx.NewClusterWith(9, dqmx.Options{Metrics: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	for i := 0; i < 9; i++ {
+		node := cluster.Node(dqmx.SiteID(i))
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := node.Acquire(ctx); err != nil {
+			log.Fatal(err)
+		}
+		cancel()
+		if err := node.Release(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap, _ := cluster.Snapshot()
+	fmt.Printf("%d executions, %.0f messages per CS\n", snap.Entries, snap.MessagesPerCS)
+	// Output:
+	// 9 executions, 12 messages per CS
 }
 
 // ExampleSimulate reproduces the paper's light-load message count: exactly

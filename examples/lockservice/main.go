@@ -42,7 +42,11 @@ func (s *lockServer) handleLock(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *lockServer) handleUnlock(w http.ResponseWriter, r *http.Request) {
-	s.node.Release()
+	if err := s.node.Release(); err != nil {
+		// ErrNotHeld: the caller never locked (or already unlocked).
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

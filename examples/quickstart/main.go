@@ -24,7 +24,7 @@ func run() error {
 		sites   = 9
 		perSite = 10
 	)
-	cluster, err := dqmx.NewCluster(sites)
+	cluster, err := dqmx.NewClusterWith(sites, dqmx.Options{Metrics: true})
 	if err != nil {
 		return err
 	}
@@ -48,7 +48,10 @@ func run() error {
 					return
 				}
 				counter++ // the critical section
-				node.Release()
+				if err := node.Release(); err != nil {
+					log.Printf("site %d: release: %v", id, err)
+					return
+				}
 			}
 		}()
 	}
@@ -57,6 +60,10 @@ func run() error {
 	fmt.Printf("sites:       %d\n", sites)
 	fmt.Printf("increments:  %d (want %d — none lost)\n", counter, sites*perSite)
 	fmt.Printf("elapsed:     %v\n", time.Since(start).Round(time.Millisecond))
+	if snap, ok := cluster.Snapshot(); ok {
+		fmt.Printf("messages:    %d (%.1f per CS; paper bound 3(K−1)..6(K−1) = 12..24)\n",
+			snap.Messages, snap.MessagesPerCS)
+	}
 	if counter != sites*perSite {
 		return fmt.Errorf("mutual exclusion violated: %d != %d", counter, sites*perSite)
 	}

@@ -78,7 +78,10 @@ func run() error {
 				for _, r := range replicas {
 					r.append(entry)
 				}
-				node.Release()
+				if err := node.Release(); err != nil {
+					log.Printf("site %d: release: %v", id, err)
+					return
+				}
 			}
 		}()
 	}

@@ -12,6 +12,7 @@ import (
 	"dqmx/internal/lamport"
 	"dqmx/internal/maekawa"
 	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
 	"dqmx/internal/raymond"
 	"dqmx/internal/ricartagrawala"
 	"dqmx/internal/sim"
@@ -55,6 +56,9 @@ type Spec struct {
 	Delay sim.Delay
 	// CSTime defaults to DefaultCSTime.
 	CSTime sim.Time
+	// Observer, when non-nil, receives every protocol event of the run
+	// (see internal/obs).
+	Observer obs.Sink
 }
 
 // Run executes one simulation and returns its metrics. Any safety or
@@ -70,6 +74,7 @@ func Run(spec Spec) (sim.Result, error) {
 	}
 	c, err := sim.NewCluster(sim.Config{
 		N: spec.N, Algorithm: spec.Algorithm, Delay: delay, Seed: spec.Seed, CSTime: cst,
+		Observer: spec.Observer,
 	})
 	if err != nil {
 		return sim.Result{}, err

@@ -1,0 +1,59 @@
+package harness_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dqmx/internal/core"
+	"dqmx/internal/harness"
+	"dqmx/internal/obs"
+)
+
+// TestObserverAgreesWithSummarize checks that the streaming obs.Metrics
+// collector, fed the event stream of a saturated simulation, reproduces the
+// post-hoc Summarize metrics: identical per-kind message counts, lifecycle
+// counters, and delay means (Summarize reports in units of T, the collector
+// in raw ticks).
+func TestObserverAgreesWithSummarize(t *testing.T) {
+	m := obs.NewMetrics()
+	res, err := harness.Run(harness.Spec{
+		N: 9, Algorithm: core.Algorithm{}, Load: harness.Heavy, PerSite: 10,
+		Seed: 3, Observer: m.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	if !reflect.DeepEqual(snap.ByKind, res.ByKind) {
+		t.Errorf("per-kind counts diverge:\n  obs %v\n  sim %v", snap.ByKind, res.ByKind)
+	}
+	if snap.Messages != res.TotalMessages {
+		t.Errorf("messages: obs %d, sim %d", snap.Messages, res.TotalMessages)
+	}
+	if snap.Entries != uint64(res.Completed) || snap.Exits != uint64(res.Completed) {
+		t.Errorf("executions: obs %d/%d, sim %d", snap.Entries, snap.Exits, res.Completed)
+	}
+	if snap.MessagesPerCS != res.MessagesPerCS {
+		t.Errorf("messages/CS: obs %v, sim %v", snap.MessagesPerCS, res.MessagesPerCS)
+	}
+
+	// Delay means must agree up to the unit change (T = DefaultDelay ticks).
+	tUnit := float64(harness.DefaultDelay)
+	check := func(name string, obsMean float64, simMeanT float64) {
+		t.Helper()
+		if got := obsMean / tUnit; math.Abs(got-simMeanT) > 1e-9 {
+			t.Errorf("%s mean: obs %v T, sim %v T", name, got, simMeanT)
+		}
+	}
+	check("response", snap.Response.Mean, res.ResponseTime)
+	check("waiting", snap.Waiting.Mean, res.WaitingTime)
+	check("sync delay", snap.SyncDelay.Mean, res.SyncDelay)
+	if snap.SyncDelay.Count != uint64(res.SyncDelaySamples) {
+		t.Errorf("sync samples: obs %d, sim %d", snap.SyncDelay.Count, res.SyncDelaySamples)
+	}
+	if snap.SyncDelay.Count == 0 {
+		t.Error("saturated run produced no handover samples")
+	}
+}

@@ -108,6 +108,16 @@ const (
 	KindFailure  = "failure" // §6 crash notification
 )
 
+// Kinds lists every message kind in canonical table order. Reporting code
+// (the simulator's trace summary, the CLI tables, the observability
+// snapshots) iterates this list instead of hand-maintaining its own copy.
+func Kinds() []string {
+	return []string{
+		KindRequest, KindReply, KindRelease, KindInquire,
+		KindFail, KindYield, KindTransfer, KindToken, KindFailure,
+	}
+}
+
 // FailureMsg announces that site Failed has crashed (§6). Drivers inject it;
 // algorithms implementing FailureObserver react to it.
 type FailureMsg struct {

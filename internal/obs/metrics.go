@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"dqmx/internal/mutex"
+)
+
+// Histogram accumulates non-negative delay samples in power-of-two buckets
+// (bucket i holds values whose bit length is i, i.e. [2^(i-1), 2^i)). The
+// log-scale resolution is coarse but constant-size and allocation-free,
+// which is what the hot path needs; exact first moments ride alongside.
+type Histogram struct {
+	count    uint64
+	sum      float64
+	min, max int64
+	buckets  [65]uint64
+}
+
+// Add folds one sample into the histogram. Negative samples (which can only
+// arise from clock trouble in a live driver) are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += float64(v)
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an upper bound for the p-th quantile (0 ≤ p ≤ 1): the
+// upper edge of the log-scale bucket the quantile lands in, clamped to the
+// observed maximum.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			edge := int64(1) << uint(i)
+			edge-- // inclusive upper edge of [2^(i-1), 2^i)
+			if edge > h.max {
+				edge = h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
+// Stats summarizes the histogram.
+func (h *Histogram) Stats() DelayStats {
+	if h.count == 0 {
+		return DelayStats{}
+	}
+	return DelayStats{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// DelayStats reports one delay distribution in the driver's time unit
+// (simulated ticks or nanoseconds). P50/P99 are log-bucket upper bounds.
+type DelayStats struct {
+	Count    uint64
+	Mean     float64
+	Min, Max int64
+	P50, P99 int64
+}
+
+// Snapshot is a point-in-time copy of the aggregated metrics.
+type Snapshot struct {
+	// Events is the total number of observed events.
+	Events uint64
+	// Messages counts protocol messages sent to remote sites; ByKind breaks
+	// the total down by message kind (the paper's per-type accounting).
+	Messages uint64
+	ByKind   map[string]uint64
+	// Requests, Entries, Exits count CS lifecycle milestones; Exits is the
+	// number of completed executions.
+	Requests uint64
+	Entries  uint64
+	Exits    uint64
+	// Failures counts delivered failure notifications; Recoveries counts
+	// completed per-site §6 recovery steps.
+	Failures   uint64
+	Recoveries uint64
+	// MessagesPerCS is Messages / Exits — the paper's headline cost, which
+	// for the delay-optimal protocol must land in 3(K−1)..6(K−1).
+	MessagesPerCS float64
+	// SyncDelay is the exit→next-entry delay measured only over handovers
+	// where the next site was already waiting (the paper's heavy-load
+	// definition of synchronization delay).
+	SyncDelay DelayStats
+	// Response is the request→exit delay; Waiting is request→entry.
+	Response DelayStats
+	Waiting  DelayStats
+}
+
+// Kinds returns the snapshot's message kinds in canonical table order
+// followed by any others alphabetically.
+func (s Snapshot) Kinds() []string {
+	out := make([]string, 0, len(s.ByKind))
+	seen := make(map[string]bool, len(s.ByKind))
+	for _, k := range mutex.Kinds() {
+		if s.ByKind[k] > 0 {
+			out = append(out, k)
+			seen[k] = true
+		}
+	}
+	var extra []string
+	for k := range s.ByKind {
+		if !seen[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Metrics aggregates the event stream into the paper's metrics. It is safe
+// for concurrent use: live drivers run one goroutine per site, all feeding
+// the same collector.
+//
+// The delay accounting mirrors sim.Cluster.Summarize: response time is
+// request→exit, waiting time is request→entry, and a synchronization-delay
+// sample is taken on each entry that follows a completed exit the entering
+// site was already waiting behind (requested ≤ previous exit ≤ entry).
+// Under mutual exclusion entries and exits alternate, so tracking the last
+// exit timestamp reproduces the simulator's record-pairing exactly on
+// crash-free runs; a crash inside the CS leaves the interrupted execution
+// out of the delay stats, just as Summarize drops its record.
+type Metrics struct {
+	mu         sync.Mutex
+	events     uint64
+	messages   uint64
+	byKind     map[string]uint64
+	requests   uint64
+	entries    uint64
+	exits      uint64
+	failures   uint64
+	recoveries uint64
+
+	requested map[mutex.SiteID]int64
+	entered   map[mutex.SiteID]int64
+	lastExit  int64
+	haveExit  bool
+
+	syncDelay Histogram
+	response  Histogram
+	waiting   Histogram
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		byKind:    make(map[string]uint64),
+		requested: make(map[mutex.SiteID]int64),
+		entered:   make(map[mutex.SiteID]int64),
+	}
+}
+
+// Observe folds one event into the metrics; it is the collector's Sink.
+func (m *Metrics) Observe(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events++
+	switch e.Type {
+	case EventRequest:
+		m.requests++
+		m.requested[e.Site] = e.Time
+	case EventSend:
+		m.messages++
+		m.byKind[e.Kind]++
+	case EventEnter:
+		m.entries++
+		m.entered[e.Site] = e.Time
+		if req, ok := m.requested[e.Site]; ok && m.haveExit &&
+			req <= m.lastExit && e.Time >= m.lastExit {
+			m.syncDelay.Add(e.Time - m.lastExit)
+		}
+	case EventExit:
+		m.exits++
+		if req, ok := m.requested[e.Site]; ok {
+			m.response.Add(e.Time - req)
+			if ent, ok := m.entered[e.Site]; ok {
+				m.waiting.Add(ent - req)
+			}
+			delete(m.requested, e.Site)
+			delete(m.entered, e.Site)
+		}
+		m.lastExit = e.Time
+		m.haveExit = true
+	case EventFailure:
+		m.failures++
+	case EventRecovery:
+		m.recoveries++
+	}
+}
+
+// Snapshot returns a consistent copy of the aggregated metrics.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Events:     m.events,
+		Messages:   m.messages,
+		ByKind:     make(map[string]uint64, len(m.byKind)),
+		Requests:   m.requests,
+		Entries:    m.entries,
+		Exits:      m.exits,
+		Failures:   m.failures,
+		Recoveries: m.recoveries,
+		SyncDelay:  m.syncDelay.Stats(),
+		Response:   m.response.Stats(),
+		Waiting:    m.waiting.Stats(),
+	}
+	for k, v := range m.byKind {
+		s.ByKind[k] = v
+	}
+	if m.exits > 0 {
+		s.MessagesPerCS = float64(m.messages) / float64(m.exits)
+	}
+	return s
+}
+
+// Ring keeps the most recent events for debug endpoints: a fixed-capacity
+// concurrent ring buffer.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the last n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Observe records one event; it is the ring's Sink.
+func (r *Ring) Observe(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

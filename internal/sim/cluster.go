@@ -7,6 +7,7 @@ import (
 
 	"dqmx/internal/metrics"
 	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
 	"dqmx/internal/timestamp"
 )
 
@@ -25,6 +26,10 @@ type Config struct {
 	// DetectDelay is the failure-detection latency before a crash is
 	// announced to the surviving sites (defaults to 5× the mean delay).
 	DetectDelay Time
+	// Observer, when non-nil, receives every protocol event (requests,
+	// sends, entries, exits, failure handling) with simulated-tick
+	// timestamps. Nil disables event emission entirely.
+	Observer obs.Sink
 }
 
 // CSRecord captures the lifecycle of one completed critical-section
@@ -96,7 +101,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		requested: make(map[mutex.SiteID]Time, cfg.N),
 	}
 	c.Net = NewNetwork(c.Kernel, cfg.Delay, cfg.Seed, c.deliver)
+	c.Net.Obs = cfg.Observer
 	return c, nil
+}
+
+// observe emits one lifecycle event; callers must have checked that the
+// observer is installed.
+func (c *Cluster) observe(t obs.EventType, site, peer mutex.SiteID) {
+	c.cfg.Observer(obs.Event{Type: t, Site: site, Peer: peer, Time: int64(c.Kernel.Now())})
 }
 
 // N returns the number of sites.
@@ -123,6 +135,9 @@ func (c *Cluster) issue(s mutex.SiteID) {
 	}
 	c.issued++
 	c.requested[s] = c.Kernel.Now()
+	if c.cfg.Observer != nil {
+		c.observe(obs.EventRequest, s, s)
+	}
 	c.handle(s, site.Request())
 }
 
@@ -140,6 +155,9 @@ func (c *Cluster) enter(s mutex.SiteID) {
 			fmt.Sprintf("t=%d: site %d entered while site %d was in the CS", c.Kernel.Now(), s, c.inCS))
 	}
 	c.inCS = s
+	if c.cfg.Observer != nil {
+		c.observe(obs.EventEnter, s, s)
+	}
 	rec := CSRecord{Site: s, Requested: c.requested[s], Entered: c.Kernel.Now()}
 	c.records = append(c.records, rec)
 	idx := len(c.records) - 1
@@ -155,6 +173,9 @@ func (c *Cluster) exit(s mutex.SiteID, idx int) {
 	}
 	c.records[idx].Exited = c.Kernel.Now()
 	c.completed++
+	if c.cfg.Observer != nil {
+		c.observe(obs.EventExit, s, s)
+	}
 	c.handle(s, c.Sites[s].Exit())
 	if c.OnExit != nil {
 		c.OnExit(c, s)
@@ -168,7 +189,13 @@ func (c *Cluster) deliver(env mutex.Envelope) {
 	site := c.Sites[env.To]
 	if f, ok := env.Msg.(mutex.FailureMsg); ok {
 		if fo, ok := site.(mutex.FailureObserver); ok {
+			if c.cfg.Observer != nil {
+				c.observe(obs.EventFailure, env.To, f.Failed)
+			}
 			c.handle(env.To, fo.SiteFailed(f.Failed))
+			if c.cfg.Observer != nil {
+				c.observe(obs.EventRecovery, env.To, f.Failed)
+			}
 		}
 		return
 	}

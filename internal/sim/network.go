@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
 )
 
 // Delay samples the network delay for one message. Implementations must be
@@ -83,6 +84,11 @@ type Network struct {
 
 	// Trace, when set, observes every delivered envelope (diagnostics).
 	Trace func(at Time, env mutex.Envelope)
+
+	// Obs, when set, receives an EventSend for every counted network
+	// message at send time (the same instant the per-kind counters
+	// increment, so the two stay consistent by construction).
+	Obs obs.Sink
 }
 
 // NewNetwork creates a network bound to the kernel. deliver is invoked (as a
@@ -114,6 +120,12 @@ func (n *Network) Send(env mutex.Envelope) {
 	}
 	n.counts[env.Msg.Kind()]++
 	n.total++
+	if n.Obs != nil {
+		n.Obs(obs.Event{
+			Type: obs.EventSend, Site: env.From, Peer: env.To,
+			Kind: env.Msg.Kind(), Time: int64(n.kernel.Now()),
+		})
+	}
 	at := n.kernel.Now() + n.delay.Sample(n.rng)
 	key := channelKey{env.From, env.To}
 	if last := n.lastArrival[key]; at < last {

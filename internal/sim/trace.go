@@ -104,10 +104,7 @@ func (r *Recorder) KindCounts() map[string]int {
 func (r *Recorder) Summary() string {
 	counts := r.KindCounts()
 	parts := make([]string, 0, len(counts))
-	for _, kind := range []string{
-		mutex.KindRequest, mutex.KindReply, mutex.KindRelease, mutex.KindInquire,
-		mutex.KindFail, mutex.KindYield, mutex.KindTransfer, mutex.KindToken, mutex.KindFailure,
-	} {
+	for _, kind := range mutex.Kinds() {
 		if c := counts[kind]; c > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", kind, c))
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
 )
 
 // inprocSender routes envelopes between nodes of the same process.
@@ -25,21 +26,44 @@ func (s inprocSender) Send(env mutex.Envelope) error {
 // goroutine, wired by in-memory FIFO mailboxes. It is the easiest way to use
 // the library: build a cluster, then Acquire/Release through its nodes.
 type Cluster struct {
-	nodes []*Node
+	nodes   []*Node
+	metrics *obs.Metrics // nil unless metrics collection was requested
 }
 
-// NewCluster builds and starts an in-process cluster of n sites.
+// NewCluster builds and starts an in-process cluster of n sites with
+// observability disabled.
 func NewCluster(alg mutex.Algorithm, n int) (*Cluster, error) {
+	return NewClusterObserved(alg, n, nil, nil)
+}
+
+// NewClusterObserved builds and starts an in-process cluster whose nodes
+// all feed the given metrics collector (exposed through Snapshot) and raw
+// event sink. Either may be nil; when both are nil the event path reduces
+// to a per-event nil check.
+func NewClusterObserved(alg mutex.Algorithm, n int, m *obs.Metrics, sink obs.Sink) (*Cluster, error) {
 	sites, err := alg.NewSites(n)
 	if err != nil {
 		return nil, fmt.Errorf("transport: build sites: %w", err)
 	}
-	c := &Cluster{nodes: make([]*Node, n)}
+	combined := sink
+	if m != nil {
+		combined = obs.Tee(m.Observe, sink)
+	}
+	c := &Cluster{nodes: make([]*Node, n), metrics: m}
 	sender := inprocSender{cluster: c}
 	for i, s := range sites {
-		c.nodes[i] = NewNode(s, sender)
+		c.nodes[i] = NewNodeObserved(s, sender, combined)
 	}
 	return c, nil
+}
+
+// Snapshot returns the aggregated live metrics. ok is false when the
+// cluster was built without a metrics collector.
+func (c *Cluster) Snapshot() (snap obs.Snapshot, ok bool) {
+	if c.metrics == nil {
+		return obs.Snapshot{}, false
+	}
+	return c.metrics.Snapshot(), true
 }
 
 // Node returns the node hosting the given site.

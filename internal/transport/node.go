@@ -9,8 +9,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
 )
 
 var (
@@ -19,7 +21,16 @@ var (
 	ErrBusy = errors.New("transport: site already holds or awaits the critical section")
 	// ErrClosed is returned when the node has shut down.
 	ErrClosed = errors.New("transport: node is closed")
+	// ErrNotHeld is returned by Release when the site does not hold the
+	// critical section — a release without a matching successful acquire.
+	ErrNotHeld = errors.New("transport: release without a held critical section")
 )
+
+// epoch anchors the live drivers' event timestamps: monotonic nanoseconds
+// since process start, comparable across every node in the process.
+var epoch = time.Now()
+
+func nanos() int64 { return int64(time.Since(epoch)) }
 
 // Sender transmits an envelope toward a remote site. Implementations must
 // preserve per-destination FIFO ordering (the protocol's channel model).
@@ -65,9 +76,10 @@ type Node struct {
 	site   mutex.Site
 	sender Sender
 	inbox  *mailbox
+	sink   obs.Sink // nil when observability is disabled
 
 	acquireC chan chan error
-	releaseC chan chan struct{}
+	releaseC chan chan error
 	stopOnce sync.Once
 	stopC    chan struct{}
 	doneC    chan struct{}
@@ -75,15 +87,23 @@ type Node struct {
 	waiter chan error // pending Acquire responder, loop-owned
 }
 
-// NewNode starts the node's event loop. sender carries envelopes addressed
-// to other sites; envelopes addressed to this site short-circuit internally.
+// NewNode starts the node's event loop with observability disabled. sender
+// carries envelopes addressed to other sites; envelopes addressed to this
+// site short-circuit internally.
 func NewNode(site mutex.Site, sender Sender) *Node {
+	return NewNodeObserved(site, sender, nil)
+}
+
+// NewNodeObserved starts the node's event loop with the given event sink.
+// A nil sink costs exactly one nil check per potential event.
+func NewNodeObserved(site mutex.Site, sender Sender, sink obs.Sink) *Node {
 	n := &Node{
 		site:     site,
 		sender:   sender,
 		inbox:    newMailbox(),
+		sink:     sink,
 		acquireC: make(chan chan error),
-		releaseC: make(chan chan struct{}),
+		releaseC: make(chan chan error),
 		stopC:    make(chan struct{}),
 		doneC:    make(chan struct{}),
 	}
@@ -115,10 +135,16 @@ func (n *Node) Acquire(ctx context.Context) error {
 		return err
 	case <-ctx.Done():
 		// The protocol has no cancel message: wait out the grant in the
-		// background and hand it straight back.
+		// background and hand it straight back. The node may close before
+		// the grant ever arrives, so also watch doneC or this goroutine
+		// leaks.
 		go func() {
-			if err := <-resp; err == nil {
-				n.Release()
+			select {
+			case err := <-resp:
+				if err == nil {
+					_ = n.Release()
+				}
+			case <-n.doneC:
 			}
 		}()
 		return ctx.Err()
@@ -127,13 +153,36 @@ func (n *Node) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release exits the critical section. It must follow a successful Acquire.
-func (n *Node) Release() {
-	resp := make(chan struct{})
+// TryAcquire attempts to enter the critical section within the context's
+// lifetime and reports whether it succeeded. Unlike Acquire, running out of
+// time is not an error: if ctx is done before the grant arrives TryAcquire
+// returns (false, nil) and the abandoned request is wound down exactly as in
+// Acquire — when the quorum's grant eventually lands it is handed straight
+// back. Callers bound the wait with a context deadline; an already-expired
+// context makes TryAcquire a pure local-state probe. Errors are reserved for
+// real failures: ErrBusy when an acquire is already held or in flight, and
+// ErrClosed after shutdown.
+func (n *Node) TryAcquire(ctx context.Context) (bool, error) {
+	switch err := n.Acquire(ctx); {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Release exits the critical section. It returns ErrNotHeld when the site
+// does not currently hold the CS (no matching successful Acquire), and
+// ErrClosed after shutdown.
+func (n *Node) Release() error {
+	resp := make(chan error, 1)
 	select {
 	case n.releaseC <- resp:
-		<-resp
+		return <-resp
 	case <-n.doneC:
+		return ErrClosed
 	}
 }
 
@@ -143,12 +192,25 @@ func (n *Node) Close() {
 	<-n.doneC
 }
 
+// observe emits one lifecycle event; callers must have checked n.sink.
+func (n *Node) observe(t obs.EventType, peer mutex.SiteID, kind string) {
+	n.sink(obs.Event{Type: t, Site: n.site.ID(), Peer: peer, Kind: kind, Time: nanos()})
+}
+
 func (n *Node) run() {
 	defer close(n.doneC)
 	for {
 		select {
 		case <-n.inbox.notify:
 			for _, env := range n.inbox.drain() {
+				if n.sink != nil {
+					if f, ok := env.Msg.(mutex.FailureMsg); ok {
+						n.observe(obs.EventFailure, f.Failed, "")
+						n.apply(n.site.Deliver(env))
+						n.observe(obs.EventRecovery, f.Failed, "")
+						continue
+					}
+				}
 				n.apply(n.site.Deliver(env))
 			}
 		case resp := <-n.acquireC:
@@ -157,10 +219,20 @@ func (n *Node) run() {
 				continue
 			}
 			n.waiter = resp
+			if n.sink != nil {
+				n.observe(obs.EventRequest, n.site.ID(), "")
+			}
 			n.apply(n.site.Request())
 		case resp := <-n.releaseC:
+			if !n.site.InCS() {
+				resp <- ErrNotHeld
+				continue
+			}
+			if n.sink != nil {
+				n.observe(obs.EventExit, n.site.ID(), "")
+			}
 			n.apply(n.site.Exit())
-			close(resp)
+			resp <- nil
 		case <-n.stopC:
 			return
 		}
@@ -182,12 +254,20 @@ func (n *Node) apply(out mutex.Output) {
 			entered = entered || next.Entered
 			continue
 		}
+		if n.sink != nil {
+			n.observe(obs.EventSend, env.To, env.Msg.Kind())
+		}
 		// Reliable-channel model: transports retry internally; an error here
 		// means the peer is gone, which the failure protocol handles.
 		_ = n.sender.Send(env)
 	}
-	if entered && n.waiter != nil {
-		n.waiter <- nil
-		n.waiter = nil
+	if entered {
+		if n.sink != nil {
+			n.observe(obs.EventEnter, n.site.ID(), "")
+		}
+		if n.waiter != nil {
+			n.waiter <- nil
+			n.waiter = nil
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
 )
 
 // TCPPeer hosts one site of a cluster spread across processes or machines.
@@ -19,6 +20,7 @@ type TCPPeer struct {
 	node     *Node
 	listener net.Listener
 	peers    map[mutex.SiteID]string
+	metrics  *obs.Metrics // nil unless metrics collection was requested
 
 	mu      sync.Mutex
 	conns   map[mutex.SiteID]*gob.Encoder
@@ -35,6 +37,13 @@ type TCPPeer struct {
 // inbound protocol traffic and dials the peer addresses lazily on first
 // send. peers maps every other site to its listen address.
 func NewTCPPeer(site mutex.Site, listenAddr string, peers map[mutex.SiteID]string) (*TCPPeer, error) {
+	return NewTCPPeerObserved(site, listenAddr, peers, nil, nil)
+}
+
+// NewTCPPeerObserved starts a peer whose node feeds the given metrics
+// collector (exposed through Snapshot) and raw event sink. Either may be
+// nil; when both are nil the event path reduces to a per-event nil check.
+func NewTCPPeerObserved(site mutex.Site, listenAddr string, peers map[mutex.SiteID]string, m *obs.Metrics, sink obs.Sink) (*TCPPeer, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
@@ -42,6 +51,7 @@ func NewTCPPeer(site mutex.Site, listenAddr string, peers map[mutex.SiteID]strin
 	p := &TCPPeer{
 		listener: ln,
 		peers:    make(map[mutex.SiteID]string, len(peers)),
+		metrics:  m,
 		conns:    make(map[mutex.SiteID]*gob.Encoder),
 		raw:      make(map[mutex.SiteID]net.Conn),
 		inbound:  make(map[net.Conn]bool),
@@ -50,10 +60,23 @@ func NewTCPPeer(site mutex.Site, listenAddr string, peers map[mutex.SiteID]strin
 	for id, addr := range peers {
 		p.peers[id] = addr
 	}
-	p.node = NewNode(site, p)
+	combined := sink
+	if m != nil {
+		combined = obs.Tee(m.Observe, sink)
+	}
+	p.node = NewNodeObserved(site, p, combined)
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
+}
+
+// Snapshot returns the peer's aggregated live metrics. ok is false when the
+// peer was built without a metrics collector.
+func (p *TCPPeer) Snapshot() (snap obs.Snapshot, ok bool) {
+	if p.metrics == nil {
+		return obs.Snapshot{}, false
+	}
+	return p.metrics.Snapshot(), true
 }
 
 // Node returns the hosted node for Acquire/Release.
