@@ -9,14 +9,21 @@
 //	dqmd -id 1 -n 3 -listen :7101 -peers 0=localhost:7100,2=localhost:7102 -demo 5
 //	dqmd -id 2 -n 3 -listen :7102 -peers 0=localhost:7100,1=localhost:7101 -demo 5
 //
+// A site is a lock manager, not a single mutex: the interactive commands
+// take an optional lock name (acquire orders / release orders), -lock picks
+// the named lock the demo loop drives, and every name runs its own instance
+// of the protocol over the same peers. No name means the default resource —
+// the single mutex of earlier versions.
+//
 // With -http each site also serves live observability for its own protocol
 // activity:
 //
 //	/metrics     the metrics snapshot as JSON (per-kind message counters,
-//	             messages per CS, sync/response/waiting delay stats in ns)
-//	/debug       a human-readable status page with the snapshot and the
-//	             most recent protocol events
-//	/debug/vars  the same snapshot under the "dqmx" expvar
+//	             messages per CS, sync/response/waiting delay stats in ns);
+//	             ?resource=name isolates one named lock
+//	/debug       a human-readable status page with the snapshot, the
+//	             instantiated lock names, and the most recent events
+//	/debug/vars  the aggregate snapshot under the "dqmx" expvar
 package main
 
 import (
@@ -51,6 +58,7 @@ func run() error {
 		peersIn  = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
 		quorum   = flag.String("quorum", "grid", "quorum construction: "+quorumNames())
 		demo     = flag.Int("demo", 0, "acquire/release this many times and exit (0 = interactive)")
+		lockName = flag.String("lock", "", "named lock to drive (default: the default resource)")
 		settle   = flag.Duration("settle", 2*time.Second, "wait before the demo starts so peers can come up")
 		httpAddr = flag.String("http", "", "serve /metrics, /debug and /debug/vars on this address")
 	)
@@ -104,9 +112,26 @@ func run() error {
 		if d := *settle - time.Since(begin); d > 0 {
 			time.Sleep(d)
 		}
-		return runDemo(peer, *id, *demo)
+		return runDemo(peer, *id, *demo, *lockName)
 	}
-	return runInteractive(peer, *id)
+	return runInteractive(peer, *id, *lockName)
+}
+
+// locker is the common surface of the default-resource Node and a named
+// Lock, so the demo and interactive loops drive either.
+type locker interface {
+	Acquire(ctx context.Context) error
+	TryAcquire(ctx context.Context) (bool, error)
+	Release() error
+}
+
+// lockerFor resolves a lock name to its handle; the empty name is the
+// default resource.
+func lockerFor(peer *dqmx.TCPPeer, name string) (locker, error) {
+	if name == "" {
+		return peer.Node(), nil
+	}
+	return peer.Lock(name)
 }
 
 func quorumNames() string {
@@ -157,16 +182,32 @@ func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog) error 
 		return s
 	}
 	expvar.Publish("dqmx", expvar.Func(func() any { return snapshot() }))
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := snapshot()
+		if name := r.URL.Query().Get("resource"); name != "" {
+			var ok bool
+			if s, ok = peer.SnapshotResource(name); !ok {
+				http.Error(w, fmt.Sprintf("no metrics for resource %q", name), http.StatusNotFound)
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snapshot())
+		_ = enc.Encode(s)
 	})
 	http.HandleFunc("/debug", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s := snapshot()
 		fmt.Fprintf(w, "site %d of %d\n\n", id, n)
+		fmt.Fprintf(w, "locks:")
+		for _, name := range peer.Resources() {
+			if name == "" {
+				name = "(default)"
+			}
+			fmt.Fprintf(w, " %s", name)
+		}
+		fmt.Fprintf(w, "\n")
 		fmt.Fprintf(w, "requests %d  entries %d  exits %d  failures %d  recoveries %d\n",
 			s.Requests, s.Entries, s.Exits, s.Failures, s.Recoveries)
 		fmt.Fprintf(w, "messages %d (%.2f per CS)\n", s.Messages, s.MessagesPerCS)
@@ -201,30 +242,45 @@ func fmtDelay(d dqmx.DelayStats) string {
 		d.Count, time.Duration(d.Mean), time.Duration(d.P99))
 }
 
-func runDemo(peer *dqmx.TCPPeer, id, rounds int) error {
-	node := peer.Node()
+func runDemo(peer *dqmx.TCPPeer, id, rounds int, lockName string) error {
+	lock, err := lockerFor(peer, lockName)
+	if err != nil {
+		return err
+	}
+	what := "CS"
+	if lockName != "" {
+		what = fmt.Sprintf("CS of %q", lockName)
+	}
 	for k := 0; k < rounds; k++ {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-		err := node.Acquire(ctx)
+		err := lock.Acquire(ctx)
 		cancel()
 		if err != nil {
 			return fmt.Errorf("round %d acquire: %w", k, err)
 		}
-		fmt.Printf("site %d: entered CS (round %d, waited %v)\n", id, k, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("site %d: entered %s (round %d, waited %v)\n", id, what, k, time.Since(start).Round(time.Millisecond))
 		time.Sleep(50 * time.Millisecond) // the critical section
-		if err := node.Release(); err != nil {
+		if err := lock.Release(); err != nil {
 			return fmt.Errorf("round %d release: %w", k, err)
 		}
-		fmt.Printf("site %d: exited CS (round %d)\n", id, k)
+		fmt.Printf("site %d: exited %s (round %d)\n", id, what, k)
 	}
 	return nil
 }
 
-func runInteractive(peer *dqmx.TCPPeer, id int) error {
-	node := peer.Node()
+func runInteractive(peer *dqmx.TCPPeer, id int, defaultLock string) error {
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("commands: acquire | try <timeout> | release | quit")
+	fmt.Println("commands: acquire [lock] | try [lock] [timeout] | release [lock] | locks | quit")
+	// resolve turns a command's optional lock-name argument into a handle,
+	// falling back to the -lock flag (or the default resource).
+	resolve := func(arg string) (locker, error) {
+		name := defaultLock
+		if arg != "" {
+			name = arg
+		}
+		return lockerFor(peer, name)
+	}
 	for {
 		fmt.Printf("site%d> ", id)
 		if !sc.Scan() {
@@ -232,10 +288,16 @@ func runInteractive(peer *dqmx.TCPPeer, id int) error {
 		}
 		line := strings.TrimSpace(sc.Text())
 		cmd, arg, _ := strings.Cut(line, " ")
+		arg = strings.TrimSpace(arg)
 		switch cmd {
 		case "acquire":
+			lock, err := resolve(arg)
+			if err != nil {
+				fmt.Println("acquire failed:", err)
+				continue
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-			err := node.Acquire(ctx)
+			err = lock.Acquire(ctx)
 			cancel()
 			if err != nil {
 				fmt.Println("acquire failed:", err)
@@ -243,17 +305,27 @@ func runInteractive(peer *dqmx.TCPPeer, id int) error {
 			}
 			fmt.Println("in critical section")
 		case "try":
+			// "try", "try 200ms", "try orders", "try orders 200ms": an
+			// argument that parses as a duration is the timeout.
+			name, rest, _ := strings.Cut(arg, " ")
 			timeout := 100 * time.Millisecond
-			if arg != "" {
-				d, err := time.ParseDuration(strings.TrimSpace(arg))
+			if d, err := time.ParseDuration(name); err == nil && rest == "" {
+				name, timeout = "", d
+			} else if rest != "" {
+				d, err := time.ParseDuration(strings.TrimSpace(rest))
 				if err != nil {
 					fmt.Println("bad timeout:", err)
 					continue
 				}
 				timeout = d
 			}
+			lock, err := resolve(name)
+			if err != nil {
+				fmt.Println("try failed:", err)
+				continue
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			ok, err := node.TryAcquire(ctx)
+			ok, err := lock.TryAcquire(ctx)
 			cancel()
 			switch {
 			case err != nil:
@@ -264,11 +336,23 @@ func runInteractive(peer *dqmx.TCPPeer, id int) error {
 				fmt.Println("not acquired within", timeout)
 			}
 		case "release":
-			if err := node.Release(); err != nil {
+			lock, err := resolve(arg)
+			if err != nil {
+				fmt.Println("release failed:", err)
+				continue
+			}
+			if err := lock.Release(); err != nil {
 				fmt.Println("release failed:", err)
 				continue
 			}
 			fmt.Println("released")
+		case "locks":
+			for _, name := range peer.Resources() {
+				if name == "" {
+					name = "(default)"
+				}
+				fmt.Println(" ", name)
+			}
 		case "quit", "exit":
 			return nil
 		case "":

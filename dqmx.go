@@ -38,6 +38,7 @@ import (
 	"dqmx/internal/harness"
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
+	"dqmx/internal/resource"
 	"dqmx/internal/sim"
 	"dqmx/internal/transport"
 	"dqmx/internal/workload"
@@ -46,11 +47,23 @@ import (
 // SiteID identifies a site (0..N-1).
 type SiteID = mutex.SiteID
 
-// Node hosts one site and exposes blocking Acquire/Release.
+// Node hosts one site and exposes blocking Acquire/Release. It is the
+// legacy single-mutex interface: a thin shim over the default resource of
+// the named-lock manager (Lock with the reserved empty name).
 type Node = transport.Node
 
 // TCPPeer hosts one site communicating over TCP.
 type TCPPeer = transport.TCPPeer
+
+// Lock is the handle for one named distributed lock: every resource name
+// runs its own independent instance of the protocol over the same sites and
+// the same transport. Obtain handles from Cluster.Lock or TCPPeer.Lock;
+// prefer Do for acquire/run/release.
+type Lock = resource.Lock
+
+// ResourcePolicy bounds and validates named-lock resource names. Validation
+// runs once per name (handles are cached), never per acquire.
+type ResourcePolicy = resource.Policy
 
 // Quorum names a quorum construction.
 type Quorum string
@@ -177,10 +190,15 @@ type Options struct {
 	// SimulateWithCrashes).
 	Observer TraceSink
 	// Metrics enables the built-in metrics aggregator on live clusters,
-	// exposed through Cluster.Snapshot and TCPPeer.Snapshot. When false
-	// (and Observer is nil) the event path costs a single nil check.
-	// Simulations report metrics through SimulationResult instead.
+	// exposed through Cluster.Snapshot and TCPPeer.Snapshot (aggregate) and
+	// SnapshotResource (per named lock). When false (and Observer is nil)
+	// the event path costs a single nil check. Simulations report metrics
+	// through SimulationResult instead.
 	Metrics bool
+	// Resources bounds and validates named-lock resource names on live
+	// clusters. The zero value applies the defaults (non-empty names up to
+	// 128 bytes).
+	Resources ResourcePolicy
 }
 
 // Validate checks that the options name a known protocol and quorum
@@ -230,7 +248,13 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := transport.NewClusterObserved(alg, n, opts.collector(), opts.Observer)
+	inner, err := transport.NewClusterConfig(transport.ClusterConfig{
+		Algorithm: alg,
+		N:         n,
+		Metrics:   opts.collector(),
+		Observer:  opts.Observer,
+		Policy:    opts.Resources,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -245,39 +269,97 @@ func (o Options) collector() *obs.Metrics {
 	return obs.NewMetrics()
 }
 
-// Node returns the handle for one site.
+// Node returns the handle for one site's default resource — the legacy
+// single-mutex interface. Named locks live alongside it and never contend
+// with it; see Lock.
 func (c *Cluster) Node(id SiteID) *Node { return c.inner.Node(id) }
 
 // N returns the number of sites.
 func (c *Cluster) N() int { return c.inner.N() }
 
+// Lock returns the canonical handle for the named lock, hosted at the site
+// the name hashes to (so every Lock call for one name in this process
+// shares a handle and queues locally instead of fighting the protocol).
+// The resource's protocol instance — one full run of the algorithm over the
+// cluster's coterie — is created lazily on first use. Use LockOn to pin a
+// lock to a specific site instead.
+func (c *Cluster) Lock(name string) (*Lock, error) {
+	return c.inner.Lock(SiteID(fnv32a(name)%uint32(c.inner.N())), name)
+}
+
+// LockOn returns site id's handle for the named lock: requests issued
+// through it enter the protocol at that site. Handles for the same name at
+// different sites contend through the quorum protocol, exactly as two
+// machines would.
+func (c *Cluster) LockOn(id SiteID, name string) (*Lock, error) {
+	return c.inner.Lock(id, name)
+}
+
 // Snapshot returns the cluster's aggregated live metrics — per-kind message
-// counters and delay distributions over all sites, with nanosecond
-// timestamps. ok is false unless the cluster was built with
+// counters and delay distributions over all sites and all named locks, with
+// nanosecond timestamps. ok is false unless the cluster was built with
 // Options.Metrics.
 func (c *Cluster) Snapshot() (snap MetricsSnapshot, ok bool) { return c.inner.Snapshot() }
+
+// SnapshotResource returns the live metrics of one named lock, so the
+// paper's 3(K−1)..6(K−1) message bound stays checkable per resource. ok is
+// false without Options.Metrics or when the resource has seen no events.
+// The default resource (the Node API) is the empty name.
+func (c *Cluster) SnapshotResource(name string) (snap MetricsSnapshot, ok bool) {
+	return c.inner.SnapshotResource(name)
+}
+
+// Resources lists every lock name instantiated in the cluster, sorted; the
+// empty name is the default resource backing the Node API.
+func (c *Cluster) Resources() []string { return c.inner.Resources() }
 
 // Close shuts every site down.
 func (c *Cluster) Close() { c.inner.Close() }
 
+// fnv32a is the 32-bit FNV-1a hash used to spread lock names over sites.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // NewTCPNode starts site id of an n-site delay-optimal cluster whose sites
 // communicate over TCP. peers maps every other site to its listen address.
 // With Options.Metrics the peer's own protocol activity is aggregated and
-// exposed through TCPPeer.Snapshot.
+// exposed through TCPPeer.Snapshot and TCPPeer.SnapshotResource. Named
+// locks are reached through TCPPeer.Lock; the id range is validated before
+// any algorithm or site construction so misconfigured deployments fail
+// fast with a clear error.
 func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, opts Options) (*TCPPeer, error) {
+	if int(id) < 0 || int(id) >= n {
+		return nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
+	}
 	alg, err := opts.algorithm()
 	if err != nil {
 		return nil, err
 	}
-	sites, err := alg.NewSites(n)
-	if err != nil {
-		return nil, err
-	}
-	if int(id) < 0 || int(id) >= n {
-		return nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
-	}
 	core.RegisterGobMessages()
-	return transport.NewTCPPeerObserved(sites[id], listenAddr, peers, opts.collector(), opts.Observer)
+	transport.RegisterGobMessages()
+	return transport.NewTCPPeerConfig(transport.TCPConfig{
+		Self: id,
+		Factory: func(string) (mutex.Site, error) {
+			// Every resource gets a fresh, independent run of the protocol:
+			// same coterie, new state machines.
+			sites, err := alg.NewSites(n)
+			if err != nil {
+				return nil, err
+			}
+			return sites[id], nil
+		},
+		ListenAddr: listenAddr,
+		Peers:      peers,
+		Metrics:    opts.collector(),
+		Observer:   opts.Observer,
+		Policy:     opts.Resources,
+	})
 }
 
 // SimulationResult reports the metrics of one simulated run in the paper's

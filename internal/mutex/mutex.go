@@ -28,10 +28,18 @@ type Message interface {
 // Envelope is one message in flight between two sites. A self-addressed
 // envelope (From == To) is delivered immediately by drivers and is not
 // counted as a network message, matching the paper's K−1 counting.
+//
+// Resource scopes the envelope to one named lock when many independent
+// protocol instances share a site set (internal/resource). State machines
+// never read or set it: the per-resource sender stamps outgoing envelopes
+// and transports route incoming ones by it. The zero value is the default
+// resource, so single-lock deployments — and the discrete-event simulator —
+// ignore the field entirely.
 type Envelope struct {
-	From SiteID
-	To   SiteID
-	Msg  Message
+	Resource string
+	From     SiteID
+	To       SiteID
+	Msg      Message
 }
 
 // Output collects the externally visible effects of one state-machine step.

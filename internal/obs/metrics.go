@@ -77,6 +77,25 @@ func (h *Histogram) Quantile(p float64) int64 {
 	return h.max
 }
 
+// Merge folds another histogram into h (used to aggregate per-resource
+// distributions into a cluster-wide view).
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
 // Stats summarizes the histogram.
 func (h *Histogram) Stats() DelayStats {
 	if h.count == 0 {
@@ -155,17 +174,30 @@ func (s Snapshot) Kinds() []string {
 // for concurrent use: live drivers run one goroutine per site, all feeding
 // the same collector.
 //
-// The delay accounting mirrors sim.Cluster.Summarize: response time is
-// request→exit, waiting time is request→entry, and a synchronization-delay
-// sample is taken on each entry that follows a completed exit the entering
-// site was already waiting behind (requested ≤ previous exit ≤ entry).
-// Under mutual exclusion entries and exits alternate, so tracking the last
-// exit timestamp reproduces the simulator's record-pairing exactly on
-// crash-free runs; a crash inside the CS leaves the interrupted execution
-// out of the delay stats, just as Summarize drops its record.
+// Events are bucketed by Event.Resource, so when many named locks are
+// multiplexed over one site set each lock's 3(K−1)..6(K−1) bound stays
+// checkable on its own through SnapshotResource. Snapshot merges every
+// per-resource aggregate into the cluster-wide view; single-lock runs have
+// exactly one bucket (the default resource) and behave as before.
+//
+// The per-resource delay accounting mirrors sim.Cluster.Summarize: response
+// time is request→exit, waiting time is request→entry, and a
+// synchronization-delay sample is taken on each entry that follows a
+// completed exit the entering site was already waiting behind
+// (requested ≤ previous exit ≤ entry). Within one resource entries and exits
+// alternate under mutual exclusion, so tracking the last exit timestamp
+// reproduces the simulator's record-pairing exactly on crash-free runs; a
+// crash inside the CS leaves the interrupted execution out of the delay
+// stats, just as Summarize drops its record.
 type Metrics struct {
-	mu         sync.Mutex
-	events     uint64
+	mu     sync.Mutex
+	events uint64
+	res    map[string]*resourceAgg
+}
+
+// resourceAgg is the per-resource accumulator; all fields are guarded by the
+// owning Metrics' mutex.
+type resourceAgg struct {
 	messages   uint64
 	byKind     map[string]uint64
 	requests   uint64
@@ -184,13 +216,17 @@ type Metrics struct {
 	waiting   Histogram
 }
 
-// NewMetrics returns an empty collector.
-func NewMetrics() *Metrics {
-	return &Metrics{
+func newResourceAgg() *resourceAgg {
+	return &resourceAgg{
 		byKind:    make(map[string]uint64),
 		requested: make(map[mutex.SiteID]int64),
 		entered:   make(map[mutex.SiteID]int64),
 	}
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{res: make(map[string]*resourceAgg)}
 }
 
 // Observe folds one event into the metrics; it is the collector's Sink.
@@ -198,63 +234,126 @@ func (m *Metrics) Observe(e Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.events++
+	a, ok := m.res[e.Resource]
+	if !ok {
+		a = newResourceAgg()
+		m.res[e.Resource] = a
+	}
 	switch e.Type {
 	case EventRequest:
-		m.requests++
-		m.requested[e.Site] = e.Time
+		a.requests++
+		a.requested[e.Site] = e.Time
 	case EventSend:
-		m.messages++
-		m.byKind[e.Kind]++
+		a.messages++
+		a.byKind[e.Kind]++
 	case EventEnter:
-		m.entries++
-		m.entered[e.Site] = e.Time
-		if req, ok := m.requested[e.Site]; ok && m.haveExit &&
-			req <= m.lastExit && e.Time >= m.lastExit {
-			m.syncDelay.Add(e.Time - m.lastExit)
+		a.entries++
+		a.entered[e.Site] = e.Time
+		if req, ok := a.requested[e.Site]; ok && a.haveExit &&
+			req <= a.lastExit && e.Time >= a.lastExit {
+			a.syncDelay.Add(e.Time - a.lastExit)
 		}
 	case EventExit:
-		m.exits++
-		if req, ok := m.requested[e.Site]; ok {
-			m.response.Add(e.Time - req)
-			if ent, ok := m.entered[e.Site]; ok {
-				m.waiting.Add(ent - req)
+		a.exits++
+		if req, ok := a.requested[e.Site]; ok {
+			a.response.Add(e.Time - req)
+			if ent, ok := a.entered[e.Site]; ok {
+				a.waiting.Add(ent - req)
 			}
-			delete(m.requested, e.Site)
-			delete(m.entered, e.Site)
+			delete(a.requested, e.Site)
+			delete(a.entered, e.Site)
 		}
-		m.lastExit = e.Time
-		m.haveExit = true
+		a.lastExit = e.Time
+		a.haveExit = true
 	case EventFailure:
-		m.failures++
+		a.failures++
 	case EventRecovery:
-		m.recoveries++
+		a.recoveries++
 	}
 }
 
-// Snapshot returns a consistent copy of the aggregated metrics.
+// snapshotLocked summarizes one aggregate; the caller holds m.mu.
+func (a *resourceAgg) snapshotLocked(events uint64) Snapshot {
+	s := Snapshot{
+		Events:     events,
+		Messages:   a.messages,
+		ByKind:     make(map[string]uint64, len(a.byKind)),
+		Requests:   a.requests,
+		Entries:    a.entries,
+		Exits:      a.exits,
+		Failures:   a.failures,
+		Recoveries: a.recoveries,
+		SyncDelay:  a.syncDelay.Stats(),
+		Response:   a.response.Stats(),
+		Waiting:    a.waiting.Stats(),
+	}
+	for k, v := range a.byKind {
+		s.ByKind[k] = v
+	}
+	if a.exits > 0 {
+		s.MessagesPerCS = float64(a.messages) / float64(a.exits)
+	}
+	return s
+}
+
+// Snapshot returns a consistent copy of the metrics merged over every
+// resource. Counters and ByKind sum; the delay distributions merge their
+// per-resource histograms, so each sample was still paired within its own
+// resource.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Events:     m.events,
-		Messages:   m.messages,
-		ByKind:     make(map[string]uint64, len(m.byKind)),
-		Requests:   m.requests,
-		Entries:    m.entries,
-		Exits:      m.exits,
-		Failures:   m.failures,
-		Recoveries: m.recoveries,
-		SyncDelay:  m.syncDelay.Stats(),
-		Response:   m.response.Stats(),
-		Waiting:    m.waiting.Stats(),
+		Events: m.events,
+		ByKind: make(map[string]uint64),
 	}
-	for k, v := range m.byKind {
-		s.ByKind[k] = v
+	var syncDelay, response, waiting Histogram
+	for _, a := range m.res {
+		s.Messages += a.messages
+		s.Requests += a.requests
+		s.Entries += a.entries
+		s.Exits += a.exits
+		s.Failures += a.failures
+		s.Recoveries += a.recoveries
+		for k, v := range a.byKind {
+			s.ByKind[k] += v
+		}
+		syncDelay.Merge(&a.syncDelay)
+		response.Merge(&a.response)
+		waiting.Merge(&a.waiting)
 	}
-	if m.exits > 0 {
-		s.MessagesPerCS = float64(m.messages) / float64(m.exits)
+	s.SyncDelay = syncDelay.Stats()
+	s.Response = response.Stats()
+	s.Waiting = waiting.Stats()
+	if s.Exits > 0 {
+		s.MessagesPerCS = float64(s.Messages) / float64(s.Exits)
 	}
 	return s
+}
+
+// SnapshotResource returns the metrics of one resource. ok is false when the
+// collector has seen no event for that resource. The Events field counts all
+// observed events (it is collector-global), matching Snapshot.
+func (m *Metrics) SnapshotResource(resource string) (snap Snapshot, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.res[resource]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return a.snapshotLocked(m.events), true
+}
+
+// Resources lists every resource the collector has seen events for, sorted.
+func (m *Metrics) Resources() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.res))
+	for name := range m.res {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Ring keeps the most recent events for debug endpoints: a fixed-capacity

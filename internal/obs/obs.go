@@ -80,19 +80,27 @@ type Event struct {
 	// Time is the driver timestamp: simulated ticks under internal/sim,
 	// monotonic nanoseconds under the live transports.
 	Time int64
+	// Resource names the lock the event belongs to when many named locks
+	// are multiplexed over one site set. The empty string is the default
+	// resource (single-lock deployments and the simulator).
+	Resource string
 }
 
 // String renders the event as one trace line.
 func (e Event) String() string {
+	suffix := ""
+	if e.Resource != "" {
+		suffix = fmt.Sprintf("  [%s]", e.Resource)
+	}
 	switch e.Type {
 	case EventSend:
-		return fmt.Sprintf("t=%-12d site %-3d send %s -> %d", e.Time, e.Site, e.Kind, e.Peer)
+		return fmt.Sprintf("t=%-12d site %-3d send %s -> %d%s", e.Time, e.Site, e.Kind, e.Peer, suffix)
 	case EventFailure:
-		return fmt.Sprintf("t=%-12d site %-3d observed failure of %d", e.Time, e.Site, e.Peer)
+		return fmt.Sprintf("t=%-12d site %-3d observed failure of %d%s", e.Time, e.Site, e.Peer, suffix)
 	case EventRecovery:
-		return fmt.Sprintf("t=%-12d site %-3d recovered around %d", e.Time, e.Site, e.Peer)
+		return fmt.Sprintf("t=%-12d site %-3d recovered around %d%s", e.Time, e.Site, e.Peer, suffix)
 	default:
-		return fmt.Sprintf("t=%-12d site %-3d %s", e.Time, e.Site, e.Type)
+		return fmt.Sprintf("t=%-12d site %-3d %s%s", e.Time, e.Site, e.Type, suffix)
 	}
 }
 

@@ -1,0 +1,95 @@
+package resource
+
+import "context"
+
+// Lock is the handle for one named distributed lock. Handles are canonical —
+// Manager.Lock returns the same *Lock for the same name — so every local
+// user of a name shares one handle, and local contention queues on the
+// handle instead of surfacing the protocol's one-request-per-site busy
+// error. Remote contention is arbitrated by the resource's own instance of
+// the quorum protocol.
+//
+// Like sync.Mutex, a Lock is not owner-checked: Release releases the lock
+// whichever goroutine acquired it. Prefer Do, which pairs the two correctly
+// even when the guarded function panics.
+type Lock struct {
+	name string
+	inst Instance
+	// sem is the local admission token: one in-flight protocol request per
+	// name per site. Holding the token does not mean holding the lock — it
+	// means this goroutine is the one talking to the protocol for this name.
+	sem chan struct{}
+}
+
+func newLock(name string, inst Instance) *Lock {
+	return &Lock{name: name, inst: inst, sem: make(chan struct{}, 1)}
+}
+
+// Name returns the lock's resource name.
+func (l *Lock) Name() string { return l.name }
+
+// Acquire blocks until this site holds the named lock, the context is
+// cancelled, or the cluster shuts down. Concurrent Acquires on the same name
+// at the same site queue locally; sites compete through the quorum protocol.
+// As with Node.Acquire, cancelling after the request was issued hands the
+// eventually granted lock straight back.
+func (l *Lock) Acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := l.inst.Acquire(ctx); err != nil {
+		<-l.sem
+		return err
+	}
+	return nil
+}
+
+// TryAcquire attempts to take the lock within the context's lifetime and
+// reports whether it succeeded. Running out of time — locally queued or
+// waiting on the quorum — is (false, nil), not an error; errors are reserved
+// for real failures such as a closed cluster.
+func (l *Lock) TryAcquire(ctx context.Context) (bool, error) {
+	select {
+	case l.sem <- struct{}{}:
+	case <-ctx.Done():
+		return false, nil
+	}
+	ok, err := l.inst.TryAcquire(ctx)
+	if !ok {
+		<-l.sem
+	}
+	return ok, err
+}
+
+// Release exits the named lock's critical section. It returns the protocol's
+// error when the lock is not held or the cluster has shut down.
+func (l *Lock) Release() error {
+	if err := l.inst.Release(); err != nil {
+		return err
+	}
+	select {
+	case <-l.sem:
+	default:
+	}
+	return nil
+}
+
+// Do runs fn while holding the lock: acquire, run, release — the release
+// happens even when fn panics (the panic then propagates). It returns the
+// acquisition error, fn's error, or — when fn succeeded — the release error.
+// Do is the recommended way to use a Lock: it makes an unbalanced
+// acquire/release pair unrepresentable.
+func (l *Lock) Do(ctx context.Context, fn func(ctx context.Context) error) (err error) {
+	if err := l.Acquire(ctx); err != nil {
+		return err
+	}
+	defer func() {
+		relErr := l.Release()
+		if err == nil {
+			err = relErr
+		}
+	}()
+	return fn(ctx)
+}

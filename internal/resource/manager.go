@@ -1,0 +1,307 @@
+// Package resource multiplexes many independently named locks over one set
+// of protocol sites and one transport. Each resource name owns a full,
+// independent instance of the mutual exclusion protocol (its own per-site
+// state machines over the same coterie); the Manager at each site routes
+// envelopes between instances by the envelope's Resource field and hands out
+// canonical *Lock handles to application code.
+//
+// The package is deliberately transport-agnostic: a Manager only knows how
+// to build an Instance for a new name (Config.New, supplied by the transport
+// layer, which also stamps the resource onto outgoing envelopes and
+// observability events) and how to find it again. Instances are created
+// lazily — on the first Lock call for a name, or on the first inbound
+// envelope carrying it — and the name→instance map is sharded so concurrent
+// lookups for different locks never contend on one global mutex.
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dqmx/internal/mutex"
+)
+
+// Default is the reserved name of the default resource: the single lock that
+// legacy single-mutex deployments (and the pre-resource wire format) use.
+// It is addressable through the transport's Node shim, never through
+// Manager.Lock.
+const Default = ""
+
+// DefaultMaxNameLength bounds resource names when Policy.MaxNameLength is
+// unset. Names travel in every wire envelope, so they are kept short.
+const DefaultMaxNameLength = 128
+
+// shardCount is the number of map shards; a power of two so the hash folds
+// cheaply. 16 shards keep 9-site × dozens-of-locks tests contention-free
+// without wasting memory on tiny deployments.
+const shardCount = 16
+
+// ErrClosed is returned by Manager operations after Close.
+var ErrClosed = errors.New("resource: lock manager is closed")
+
+// Instance is one resource's protocol endpoint at this site. The transport
+// layer implements it (internal/transport.Node does); the Manager routes
+// inbound envelopes to it, Lock handles drive its blocking operations, and
+// Close shuts it down.
+type Instance interface {
+	// Acquire blocks until the instance holds its critical section, the
+	// context is cancelled, or the instance closes.
+	Acquire(ctx context.Context) error
+	// TryAcquire attempts to enter within the context's lifetime; running
+	// out of time is (false, nil), not an error.
+	TryAcquire(ctx context.Context) (bool, error)
+	// Release exits the critical section.
+	Release() error
+	// Inject delivers one inbound envelope to the instance.
+	Inject(env mutex.Envelope)
+	// InjectBatch delivers several inbound envelopes at once, preserving
+	// order (one mailbox lock instead of one per envelope).
+	InjectBatch(envs []mutex.Envelope)
+	// Close shuts the instance down.
+	Close()
+}
+
+// Policy bounds and validates resource names. Validation runs exactly once
+// per name — at instance creation — never on the per-acquire hot path,
+// because handles and instances are cached by name.
+type Policy struct {
+	// MaxNameLength is the maximum name length in bytes
+	// (DefaultMaxNameLength when zero or negative).
+	MaxNameLength int
+	// Validate, when non-nil, is an additional application check run after
+	// the built-in rules. Returning an error rejects the name.
+	Validate func(name string) error
+}
+
+// check applies the policy to a non-default name.
+func (p Policy) check(name string) error {
+	if name == Default {
+		return errors.New("resource: empty lock name (the empty name is the reserved default resource)")
+	}
+	max := p.MaxNameLength
+	if max <= 0 {
+		max = DefaultMaxNameLength
+	}
+	if len(name) > max {
+		return fmt.Errorf("resource: lock name of %d bytes exceeds the %d-byte limit", len(name), max)
+	}
+	if p.Validate != nil {
+		if err := p.Validate(name); err != nil {
+			return fmt.Errorf("resource: invalid lock name %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Config configures a Manager.
+type Config struct {
+	// New builds this site's protocol instance for a newly seen resource.
+	// The transport layer supplies it and is responsible for stamping the
+	// resource name onto everything the instance sends or observes.
+	New func(name string) (Instance, error)
+	// Policy bounds resource names. The zero value applies the defaults.
+	Policy Policy
+}
+
+// Manager multiplexes named locks at one site: it owns the name→instance
+// table, creates instances lazily, routes inbound envelopes, and hands out
+// canonical Lock handles.
+type Manager struct {
+	cfg    Config
+	closed atomic.Bool
+	shards [shardCount]shard
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	inst Instance
+	lock *Lock
+}
+
+// NewManager returns an empty manager. Instances are created on demand via
+// cfg.New.
+func NewManager(cfg Config) *Manager {
+	m := &Manager{cfg: cfg}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[string]*entry)
+	}
+	return m
+}
+
+// shardFor hashes a name to its shard (FNV-1a, folded into shardCount).
+func (m *Manager) shardFor(name string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &m.shards[h&(shardCount-1)]
+}
+
+// entryFor returns the canonical entry for a name, creating instance and
+// handle on first use. The hot path is one shard read-lock and a map lookup;
+// the policy check runs only on the miss path, so a name is validated once.
+func (m *Manager) entryFor(name string) (*entry, error) {
+	sh := m.shardFor(name)
+	sh.mu.RLock()
+	e := sh.entries[name]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	if name != Default {
+		if err := m.cfg.Policy.check(name); err != nil {
+			return nil, err
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.entries[name]; e != nil {
+		return e, nil
+	}
+	// Close sweeps every shard after setting the flag, so checking it under
+	// the shard write lock guarantees no instance outlives Close.
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	inst, err := m.cfg.New(name)
+	if err != nil {
+		return nil, err
+	}
+	e = &entry{inst: inst, lock: newLock(name, inst)}
+	sh.entries[name] = e
+	return e, nil
+}
+
+// Lock returns the canonical handle for the named lock, instantiating the
+// resource's protocol instance on first use. Two Lock calls with the same
+// name return the same *Lock, so in-process contention for one name
+// serializes locally on the handle instead of surfacing as protocol
+// busy-errors. The empty name is rejected: the default resource belongs to
+// the legacy single-mutex API.
+func (m *Manager) Lock(name string) (*Lock, error) {
+	if name == Default {
+		return nil, m.cfg.Policy.check(name)
+	}
+	e, err := m.entryFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.lock, nil
+}
+
+// Instance returns the protocol instance for a name, creating it on first
+// use. Unlike Lock it accepts the default resource; the transport layer uses
+// it to build the legacy Node shim.
+func (m *Manager) Instance(name string) (Instance, error) {
+	e, err := m.entryFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.inst, nil
+}
+
+// Inject routes one inbound envelope to the instance named by its Resource
+// field, instantiating it lazily (a remote site may open a lock this site
+// has never touched). Envelopes whose resource fails validation are dropped
+// with an error.
+func (m *Manager) Inject(env mutex.Envelope) error {
+	e, err := m.entryFor(env.Resource)
+	if err != nil {
+		return err
+	}
+	e.inst.Inject(env)
+	return nil
+}
+
+// InjectBatch routes a batch of inbound envelopes, splitting it into
+// consecutive same-resource runs so each instance takes its mailbox lock
+// once per run. Order within each resource is preserved.
+func (m *Manager) InjectBatch(envs []mutex.Envelope) error {
+	var firstErr error
+	for start := 0; start < len(envs); {
+		end := start + 1
+		for end < len(envs) && envs[end].Resource == envs[start].Resource {
+			end++
+		}
+		e, err := m.entryFor(envs[start].Resource)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			e.inst.InjectBatch(envs[start:end])
+		}
+		start = end
+	}
+	return firstErr
+}
+
+// Each calls f for every instantiated resource. The instance table is
+// snapshotted first, so f may call back into the manager freely.
+func (m *Manager) Each(f func(name string, inst Instance)) {
+	type item struct {
+		name string
+		inst Instance
+	}
+	var items []item
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for name, e := range sh.entries {
+			items = append(items, item{name, e.inst})
+		}
+		sh.mu.RUnlock()
+	}
+	for _, it := range items {
+		f(it.name, it.inst)
+	}
+}
+
+// Resources lists every instantiated resource name, sorted.
+func (m *Manager) Resources() []string {
+	var out []string
+	m.Each(func(name string, _ Instance) { out = append(out, name) })
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of instantiated resources.
+func (m *Manager) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Close shuts every instance down and fails subsequent operations with
+// ErrClosed. It is idempotent.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	var insts []Instance
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			insts = append(insts, e.inst)
+		}
+		sh.mu.Unlock()
+	}
+	for _, inst := range insts {
+		inst.Close()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/resource"
 )
 
 // heartbeatMsg is the liveness probe exchanged by peers running a failure
@@ -25,12 +26,14 @@ func RegisterGobMessages() {
 	gob.Register(mutex.FailureMsg{})
 }
 
-// KillSite simulates a crash in an in-process cluster: the node's loop stops
-// immediately and, after detectAfter, every surviving node receives a
-// failure(f) notification so the §6 recovery protocol can rebuild quorums.
-// It blocks until the notifications are injected.
+// KillSite simulates a crash in an in-process cluster: every protocol
+// instance hosted at the site — the default resource and all named locks —
+// stops immediately and, after detectAfter, every surviving site receives a
+// failure(f) notification per instantiated resource so the §6 recovery
+// protocol can rebuild each lock's quorums. It blocks until the
+// notifications are injected.
 func (c *Cluster) KillSite(id mutex.SiteID, detectAfter time.Duration) {
-	victim := c.node(id)
+	victim := c.manager(id)
 	if victim == nil {
 		return
 	}
@@ -38,10 +41,14 @@ func (c *Cluster) KillSite(id mutex.SiteID, detectAfter time.Duration) {
 	if detectAfter > 0 {
 		time.Sleep(detectAfter)
 	}
-	for _, n := range c.nodes {
-		if n.ID() != id {
-			n.Inject(mutex.Envelope{From: n.ID(), To: n.ID(), Msg: mutex.FailureMsg{Failed: id}})
+	for j, mgr := range c.managers {
+		if mutex.SiteID(j) == id {
+			continue
 		}
+		self := mutex.SiteID(j)
+		mgr.Each(func(name string, inst resource.Instance) {
+			inst.Inject(mutex.Envelope{Resource: name, From: self, To: self, Msg: mutex.FailureMsg{Failed: id}})
+		})
 	}
 }
 
@@ -123,14 +130,20 @@ func (d *Detector) run() {
 				_ = d.peer.Send(mutex.Envelope{From: self, To: id, Msg: heartbeatMsg{From: self}})
 			}
 			now := time.Now()
+			var dead []mutex.SiteID
 			d.mu.Lock()
 			for id, seen := range d.lastSeen {
 				if !d.declared[id] && now.Sub(seen) > d.timeout {
 					d.declared[id] = true
-					d.peer.node.Inject(mutex.Envelope{From: self, To: self, Msg: mutex.FailureMsg{Failed: id}})
+					dead = append(dead, id)
 				}
 			}
 			d.mu.Unlock()
+			// Announce outside the detector lock: every instantiated
+			// resource at this peer rebuilds its quorums around the crash.
+			for _, id := range dead {
+				d.peer.injectFailure(id)
+			}
 		case <-d.stopC:
 			return
 		}

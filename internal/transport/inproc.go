@@ -2,38 +2,88 @@ package transport
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
+	"dqmx/internal/resource"
 )
 
-// inprocSender routes envelopes between nodes of the same process.
+// inprocSender routes envelopes between the managers of the same process,
+// delivering consecutive same-destination runs under one mailbox lock.
 type inprocSender struct {
 	cluster *Cluster
 }
 
 // Send implements Sender.
 func (s inprocSender) Send(env mutex.Envelope) error {
-	node := s.cluster.node(env.To)
-	if node == nil {
+	mgr := s.cluster.manager(env.To)
+	if mgr == nil {
 		return fmt.Errorf("transport: no node for site %d", env.To)
 	}
-	node.Inject(env)
-	return nil
+	return mgr.Inject(env)
 }
 
-// Cluster hosts every site of an algorithm in one process, each on its own
-// goroutine, wired by in-memory FIFO mailboxes. It is the easiest way to use
-// the library: build a cluster, then Acquire/Release through its nodes.
+// SendBatch implements BatchSender: envelopes are grouped into consecutive
+// same-destination runs and each run is injected as one batch.
+func (s inprocSender) SendBatch(envs []mutex.Envelope) error {
+	var firstErr error
+	for start := 0; start < len(envs); {
+		end := start + 1
+		for end < len(envs) && envs[end].To == envs[start].To {
+			end++
+		}
+		mgr := s.cluster.manager(envs[start].To)
+		if mgr == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: no node for site %d", envs[start].To)
+			}
+		} else if err := mgr.InjectBatch(envs[start:end]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		start = end
+	}
+	return firstErr
+}
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Algorithm builds the per-resource site machines.
+	Algorithm mutex.Algorithm
+	// N is the number of sites.
+	N int
+	// Metrics, when non-nil, aggregates the cluster's events (exposed
+	// through Snapshot and SnapshotResource).
+	Metrics *obs.Metrics
+	// Observer, when non-nil, receives the raw event stream.
+	Observer obs.Sink
+	// Policy bounds named-lock resource names.
+	Policy resource.Policy
+}
+
+// Cluster hosts every site of an algorithm in one process and multiplexes
+// any number of named locks over them: each resource name lazily gets its
+// own full protocol instance (N fresh site machines over the same coterie),
+// each site machine on its own goroutine, wired by in-memory FIFO
+// mailboxes. The legacy single-mutex interface — Node(id).Acquire/Release —
+// is the default resource's instance; named locks are reached through Lock.
 type Cluster struct {
-	nodes   []*Node
-	metrics *obs.Metrics // nil unless metrics collection was requested
+	alg      mutex.Algorithm
+	n        int
+	metrics  *obs.Metrics // nil unless metrics collection was requested
+	sink     obs.Sink     // combined metrics+observer sink
+	managers []*resource.Manager
+	nodes    []*Node // default-resource instances, cached for Node(id)
+
+	mu       sync.Mutex
+	siteSets map[string][]mutex.Site // per-resource machines, built once per resource
 }
 
 // NewCluster builds and starts an in-process cluster of n sites with
 // observability disabled.
 func NewCluster(alg mutex.Algorithm, n int) (*Cluster, error) {
-	return NewClusterObserved(alg, n, nil, nil)
+	return NewClusterConfig(ClusterConfig{Algorithm: alg, N: n})
 }
 
 // NewClusterObserved builds and starts an in-process cluster whose nodes
@@ -41,24 +91,78 @@ func NewCluster(alg mutex.Algorithm, n int) (*Cluster, error) {
 // event sink. Either may be nil; when both are nil the event path reduces
 // to a per-event nil check.
 func NewClusterObserved(alg mutex.Algorithm, n int, m *obs.Metrics, sink obs.Sink) (*Cluster, error) {
-	sites, err := alg.NewSites(n)
+	return NewClusterConfig(ClusterConfig{Algorithm: alg, N: n, Metrics: m, Observer: sink})
+}
+
+// NewClusterConfig builds and starts an in-process cluster with explicit
+// configuration.
+func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
+	c := &Cluster{
+		alg:      cfg.Algorithm,
+		n:        cfg.N,
+		metrics:  cfg.Metrics,
+		sink:     cfg.Observer,
+		managers: make([]*resource.Manager, cfg.N),
+		nodes:    make([]*Node, cfg.N),
+		siteSets: make(map[string][]mutex.Site),
+	}
+	if cfg.Metrics != nil {
+		c.sink = obs.Tee(cfg.Metrics.Observe, cfg.Observer)
+	}
+	// Build the default resource's site set up front: it validates the
+	// algorithm and site count at construction even for degenerate N.
+	defaultSites, err := cfg.Algorithm.NewSites(cfg.N)
 	if err != nil {
 		return nil, fmt.Errorf("transport: build sites: %w", err)
 	}
-	combined := sink
-	if m != nil {
-		combined = obs.Tee(m.Observe, sink)
-	}
-	c := &Cluster{nodes: make([]*Node, n), metrics: m}
+	c.siteSets[resource.Default] = defaultSites
 	sender := inprocSender{cluster: c}
-	for i, s := range sites {
-		c.nodes[i] = NewNodeObserved(s, sender, combined)
+	for i := 0; i < cfg.N; i++ {
+		id := mutex.SiteID(i)
+		c.managers[i] = resource.NewManager(resource.Config{
+			Policy: cfg.Policy,
+			New: func(name string) (resource.Instance, error) {
+				site, err := c.siteFor(name, id)
+				if err != nil {
+					return nil, err
+				}
+				return newResourceNode(name, site, sender, c.sink), nil
+			},
+		})
+	}
+	// The default resource is eager: it validates the algorithm/coterie at
+	// construction and backs the legacy Node(id) interface.
+	for i, mgr := range c.managers {
+		inst, err := mgr.Instance(resource.Default)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[i] = inst.(*Node)
 	}
 	return c, nil
 }
 
-// Snapshot returns the aggregated live metrics. ok is false when the
-// cluster was built without a metrics collector.
+// siteFor hands out site id's machine for a resource, building the
+// resource's full site set on first use so all N managers share one
+// coherent coterie assignment per resource.
+func (c *Cluster) siteFor(name string, id mutex.SiteID) (mutex.Site, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.siteSets[name]
+	if !ok {
+		var err error
+		set, err = c.alg.NewSites(c.n)
+		if err != nil {
+			return nil, fmt.Errorf("transport: build sites: %w", err)
+		}
+		c.siteSets[name] = set
+	}
+	return set[id], nil
+}
+
+// Snapshot returns the aggregated live metrics over every resource. ok is
+// false when the cluster was built without a metrics collector.
 func (c *Cluster) Snapshot() (snap obs.Snapshot, ok bool) {
 	if c.metrics == nil {
 		return obs.Snapshot{}, false
@@ -66,22 +170,67 @@ func (c *Cluster) Snapshot() (snap obs.Snapshot, ok bool) {
 	return c.metrics.Snapshot(), true
 }
 
-// Node returns the node hosting the given site.
-func (c *Cluster) Node(id mutex.SiteID) *Node { return c.node(id) }
+// SnapshotResource returns the live metrics of one named lock. ok is false
+// without a metrics collector or when the resource has seen no events.
+func (c *Cluster) SnapshotResource(name string) (snap obs.Snapshot, ok bool) {
+	if c.metrics == nil {
+		return obs.Snapshot{}, false
+	}
+	return c.metrics.SnapshotResource(name)
+}
 
-// N returns the number of sites.
-func (c *Cluster) N() int { return len(c.nodes) }
+// Lock returns site id's canonical handle for the named lock, instantiating
+// the resource's protocol instance on first use.
+func (c *Cluster) Lock(id mutex.SiteID, name string) (*resource.Lock, error) {
+	mgr := c.manager(id)
+	if mgr == nil {
+		return nil, fmt.Errorf("transport: site %d out of range 0..%d", id, c.n-1)
+	}
+	return mgr.Lock(name)
+}
 
-func (c *Cluster) node(id mutex.SiteID) *Node {
+// Resources lists every resource name instantiated anywhere in the cluster,
+// sorted and de-duplicated (the default resource is always present).
+func (c *Cluster) Resources() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, mgr := range c.managers {
+		for _, name := range mgr.Resources() {
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Node returns the node hosting the given site's default resource — the
+// legacy single-mutex interface, now a shim over Lock's machinery.
+func (c *Cluster) Node(id mutex.SiteID) *Node {
 	if int(id) < 0 || int(id) >= len(c.nodes) {
 		return nil
 	}
 	return c.nodes[id]
 }
 
-// Close stops every node and waits for their loops to exit.
+// N returns the number of sites.
+func (c *Cluster) N() int { return c.n }
+
+func (c *Cluster) manager(id mutex.SiteID) *resource.Manager {
+	if int(id) < 0 || int(id) >= len(c.managers) {
+		return nil
+	}
+	return c.managers[id]
+}
+
+// Close stops every instance of every resource and waits for their loops to
+// exit.
 func (c *Cluster) Close() {
-	for _, n := range c.nodes {
-		n.Close()
+	for _, mgr := range c.managers {
+		if mgr != nil {
+			mgr.Close()
+		}
 	}
 }

@@ -38,6 +38,16 @@ type Sender interface {
 	Send(env mutex.Envelope) error
 }
 
+// BatchSender is an optional Sender extension: all envelopes produced by one
+// state-machine step are handed over together, letting the transport
+// coalesce them — one mailbox lock in-process, one buffered write per
+// destination over TCP — instead of paying per-envelope overhead. Order
+// within the batch must be preserved per destination.
+type BatchSender interface {
+	Sender
+	SendBatch(envs []mutex.Envelope) error
+}
+
 // mailbox is an unbounded FIFO of envelopes: the reliable, order-preserving
 // "network buffer" in front of each node. Unboundedness mirrors the system
 // model (reliable channels, no backpressure) and prevents distributed
@@ -55,6 +65,19 @@ func newMailbox() *mailbox {
 func (m *mailbox) put(env mutex.Envelope) {
 	m.mu.Lock()
 	m.items = append(m.items, env)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) putAll(envs []mutex.Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.items = append(m.items, envs...)
 	m.mu.Unlock()
 	select {
 	case m.notify <- struct{}{}:
@@ -116,6 +139,10 @@ func (n *Node) ID() mutex.SiteID { return n.site.ID() }
 
 // Inject delivers an incoming envelope (called by transports).
 func (n *Node) Inject(env mutex.Envelope) { n.inbox.put(env) }
+
+// InjectBatch delivers several incoming envelopes in order under one mailbox
+// lock (called by batching transports).
+func (n *Node) InjectBatch(envs []mutex.Envelope) { n.inbox.putAll(envs) }
 
 // Acquire blocks until the site holds the critical section, the context is
 // cancelled, or the node closes. If the context is cancelled after the
@@ -241,10 +268,12 @@ func (n *Node) run() {
 
 // apply executes one state-machine step's effects: self-addressed envelopes
 // run inline (they are local bookkeeping, not network messages), remote ones
-// go to the sender, and a CS entry wakes the pending Acquire.
+// go to the sender — batched when the transport supports it — and a CS entry
+// wakes the pending Acquire.
 func (n *Node) apply(out mutex.Output) {
 	pending := out.Send
 	entered := out.Entered
+	var remote []mutex.Envelope
 	for len(pending) > 0 {
 		env := pending[0]
 		pending = pending[1:]
@@ -257,9 +286,18 @@ func (n *Node) apply(out mutex.Output) {
 		if n.sink != nil {
 			n.observe(obs.EventSend, env.To, env.Msg.Kind())
 		}
-		// Reliable-channel model: transports retry internally; an error here
-		// means the peer is gone, which the failure protocol handles.
-		_ = n.sender.Send(env)
+		remote = append(remote, env)
+	}
+	// Reliable-channel model: transports retry internally; an error here
+	// means the peer is gone, which the failure protocol handles.
+	if len(remote) > 0 {
+		if bs, ok := n.sender.(BatchSender); ok {
+			_ = bs.SendBatch(remote)
+		} else {
+			for _, env := range remote {
+				_ = n.sender.Send(env)
+			}
+		}
 	}
 	if entered {
 		if n.sink != nil {

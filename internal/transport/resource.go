@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
+	"dqmx/internal/resource"
+)
+
+// resourceSender stamps the owning resource's name onto every envelope a
+// per-resource node sends. State machines never see resource names; this
+// wrapper is what scopes their traffic to one lock.
+type resourceSender struct {
+	name  string
+	under Sender
+}
+
+// Send implements Sender.
+func (s resourceSender) Send(env mutex.Envelope) error {
+	env.Resource = s.name
+	return s.under.Send(env)
+}
+
+// SendBatch implements BatchSender, falling back to per-envelope sends when
+// the underlying transport does not batch.
+func (s resourceSender) SendBatch(envs []mutex.Envelope) error {
+	for i := range envs {
+		envs[i].Resource = s.name
+	}
+	if bs, ok := s.under.(BatchSender); ok {
+		return bs.SendBatch(envs)
+	}
+	var firstErr error
+	for _, env := range envs {
+		if err := s.under.Send(env); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// resourceSink stamps the resource name onto observed events so the metrics
+// collector can key its aggregation per lock. The default resource passes
+// the sink through untouched (the zero Event.Resource is already correct).
+func resourceSink(name string, sink obs.Sink) obs.Sink {
+	if sink == nil || name == resource.Default {
+		return sink
+	}
+	return func(e obs.Event) {
+		e.Resource = name
+		sink(e)
+	}
+}
+
+// newResourceNode builds the per-resource protocol node: the site machine
+// wrapped with a resource-stamping sender and sink. It is the Config.New
+// used by both the in-process cluster and the TCP peer.
+func newResourceNode(name string, site mutex.Site, under Sender, sink obs.Sink) *Node {
+	return NewNodeObserved(site, resourceSender{name: name, under: under}, resourceSink(name, sink))
+}

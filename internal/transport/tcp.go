@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -9,22 +10,59 @@ import (
 
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
+	"dqmx/internal/resource"
 )
 
-// TCPPeer hosts one site of a cluster spread across processes or machines.
-// Envelopes travel as gob streams over one outbound TCP connection per
-// destination, which preserves the protocol's per-channel FIFO requirement.
-// Algorithms must register their message types with encoding/gob first
+// Reconnect policy for broken outbound connections: a bounded
+// exponential-backoff dial loop, so a transient peer restart is absorbed by
+// the transport instead of surfacing as a protocol error. The total retry
+// window is ~1.3s of backoff plus dial timeouts; a peer silent for longer is
+// the failure detector's problem, not the sender's.
+const (
+	dialTimeout       = 5 * time.Second
+	reconnectAttempts = 6
+	reconnectBase     = 25 * time.Millisecond
+	reconnectMax      = 500 * time.Millisecond
+)
+
+// TCPConfig configures a TCP peer.
+type TCPConfig struct {
+	// Self is the hosted site's identifier.
+	Self mutex.SiteID
+	// Factory builds this site's machine for a resource. It is called once
+	// per resource name — eagerly for the default resource, lazily for
+	// named locks (on first Lock or first inbound envelope).
+	Factory func(name string) (mutex.Site, error)
+	// ListenAddr is the address to listen on for inbound protocol traffic.
+	ListenAddr string
+	// Peers maps every other site to its listen address.
+	Peers map[mutex.SiteID]string
+	// Metrics, when non-nil, aggregates this peer's events.
+	Metrics *obs.Metrics
+	// Observer, when non-nil, receives the raw event stream.
+	Observer obs.Sink
+	// Policy bounds named-lock resource names.
+	Policy resource.Policy
+}
+
+// TCPPeer hosts one site of a cluster spread across processes or machines
+// and multiplexes any number of named locks over it. Envelopes travel as gob
+// streams over one outbound TCP connection per destination; a dedicated
+// writer goroutine per destination preserves the protocol's per-channel FIFO
+// requirement and coalesces envelopes queued by different resources into one
+// buffered write, so adding locks does not multiply syscalls. Algorithms
+// must register their message types with encoding/gob first
 // (core.RegisterGobMessages does this for the delay-optimal protocol).
 type TCPPeer struct {
-	node     *Node
+	self     mutex.SiteID
+	manager  *resource.Manager
+	node     *Node // default-resource instance, kept for the legacy Node API
 	listener net.Listener
 	peers    map[mutex.SiteID]string
 	metrics  *obs.Metrics // nil unless metrics collection was requested
 
 	mu      sync.Mutex
-	conns   map[mutex.SiteID]*gob.Encoder
-	raw     map[mutex.SiteID]net.Conn
+	outs    map[mutex.SiteID]*outbound
 	inbound map[net.Conn]bool
 	hbSink  *Detector // set by StartDetector; receives heartbeat traffic
 
@@ -33,45 +71,86 @@ type TCPPeer struct {
 	wg       sync.WaitGroup
 }
 
-// NewTCPPeer starts a peer for the given site: it listens on listenAddr for
-// inbound protocol traffic and dials the peer addresses lazily on first
-// send. peers maps every other site to its listen address.
+// NewTCPPeer starts a single-resource peer for the given site: it listens on
+// listenAddr for inbound protocol traffic and dials the peer addresses
+// lazily on first send. peers maps every other site to its listen address.
 func NewTCPPeer(site mutex.Site, listenAddr string, peers map[mutex.SiteID]string) (*TCPPeer, error) {
 	return NewTCPPeerObserved(site, listenAddr, peers, nil, nil)
 }
 
-// NewTCPPeerObserved starts a peer whose node feeds the given metrics
-// collector (exposed through Snapshot) and raw event sink. Either may be
-// nil; when both are nil the event path reduces to a per-event nil check.
+// NewTCPPeerObserved starts a single-resource peer whose node feeds the
+// given metrics collector (exposed through Snapshot) and raw event sink.
+// Either may be nil. Peers built this way serve only the default resource —
+// Lock returns an error — because a lone site machine cannot instantiate
+// further protocol instances; use NewTCPPeerConfig with a Factory for named
+// locks.
 func NewTCPPeerObserved(site mutex.Site, listenAddr string, peers map[mutex.SiteID]string, m *obs.Metrics, sink obs.Sink) (*TCPPeer, error) {
-	ln, err := net.Listen("tcp", listenAddr)
+	used := false
+	return NewTCPPeerConfig(TCPConfig{
+		Self: site.ID(),
+		Factory: func(name string) (mutex.Site, error) {
+			if name != resource.Default {
+				return nil, fmt.Errorf("transport: peer was built single-resource; named lock %q needs NewTCPPeerConfig", name)
+			}
+			if used {
+				return nil, fmt.Errorf("transport: default resource already instantiated")
+			}
+			used = true
+			return site, nil
+		},
+		ListenAddr: listenAddr,
+		Peers:      peers,
+		Metrics:    m,
+		Observer:   sink,
+	})
+}
+
+// NewTCPPeerConfig starts a multi-resource peer with explicit configuration.
+func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 	}
 	p := &TCPPeer{
+		self:     cfg.Self,
 		listener: ln,
-		peers:    make(map[mutex.SiteID]string, len(peers)),
-		metrics:  m,
-		conns:    make(map[mutex.SiteID]*gob.Encoder),
-		raw:      make(map[mutex.SiteID]net.Conn),
+		peers:    make(map[mutex.SiteID]string, len(cfg.Peers)),
+		metrics:  cfg.Metrics,
+		outs:     make(map[mutex.SiteID]*outbound),
 		inbound:  make(map[net.Conn]bool),
 		stopC:    make(chan struct{}),
 	}
-	for id, addr := range peers {
+	for id, addr := range cfg.Peers {
 		p.peers[id] = addr
 	}
-	combined := sink
-	if m != nil {
-		combined = obs.Tee(m.Observe, sink)
+	combined := cfg.Observer
+	if cfg.Metrics != nil {
+		combined = obs.Tee(cfg.Metrics.Observe, cfg.Observer)
 	}
-	p.node = NewNodeObserved(site, p, combined)
+	p.manager = resource.NewManager(resource.Config{
+		Policy: cfg.Policy,
+		New: func(name string) (resource.Instance, error) {
+			site, err := cfg.Factory(name)
+			if err != nil {
+				return nil, err
+			}
+			return newResourceNode(name, site, p, combined), nil
+		},
+	})
+	inst, err := p.manager.Instance(resource.Default)
+	if err != nil {
+		_ = ln.Close()
+		p.manager.Close()
+		return nil, err
+	}
+	p.node = inst.(*Node)
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
 }
 
-// Snapshot returns the peer's aggregated live metrics. ok is false when the
-// peer was built without a metrics collector.
+// Snapshot returns the peer's aggregated live metrics over every resource.
+// ok is false when the peer was built without a metrics collector.
 func (p *TCPPeer) Snapshot() (snap obs.Snapshot, ok bool) {
 	if p.metrics == nil {
 		return obs.Snapshot{}, false
@@ -79,63 +158,244 @@ func (p *TCPPeer) Snapshot() (snap obs.Snapshot, ok bool) {
 	return p.metrics.Snapshot(), true
 }
 
-// Node returns the hosted node for Acquire/Release.
+// SnapshotResource returns the peer's live metrics for one named lock. ok is
+// false without a metrics collector or when the resource has seen no events.
+func (p *TCPPeer) SnapshotResource(name string) (snap obs.Snapshot, ok bool) {
+	if p.metrics == nil {
+		return obs.Snapshot{}, false
+	}
+	return p.metrics.SnapshotResource(name)
+}
+
+// Lock returns this peer's canonical handle for the named lock,
+// instantiating the resource's protocol instance on first use.
+func (p *TCPPeer) Lock(name string) (*resource.Lock, error) {
+	return p.manager.Lock(name)
+}
+
+// Resources lists every resource instantiated at this peer, sorted.
+func (p *TCPPeer) Resources() []string { return p.manager.Resources() }
+
+// Node returns the default resource's hosted node — the legacy single-mutex
+// interface for Acquire/Release.
 func (p *TCPPeer) Node() *Node { return p.node }
 
 // Addr returns the peer's actual listen address (useful with ":0").
 func (p *TCPPeer) Addr() string { return p.listener.Addr().String() }
 
-// wireEnvelope is the on-the-wire representation.
+// wireEnvelope is the on-the-wire representation. Resource scopes the
+// envelope to one named lock; gob omits the field when it is the zero-valued
+// default resource, so single-lock traffic is byte-compatible with the
+// pre-resource wire format in both directions.
 type wireEnvelope struct {
-	From mutex.SiteID
-	To   mutex.SiteID
-	Msg  mutex.Message
+	Resource string
+	From     mutex.SiteID
+	To       mutex.SiteID
+	Msg      mutex.Message
 }
 
-// Send implements Sender: one persistent connection per destination, dialed
-// lazily, with a single retry on a broken pipe.
+// Send implements Sender: the envelope is queued on the destination's
+// outbound writer and written asynchronously (the protocol's reliable-
+// channel model — delivery failures beyond the reconnect budget are the
+// failure detector's to report). An error means the destination is unknown
+// or the peer is shut down.
 func (p *TCPPeer) Send(env mutex.Envelope) error {
-	for attempt := 0; attempt < 2; attempt++ {
-		enc, err := p.encoderFor(env.To)
-		if err != nil {
-			return err
-		}
-		if err = enc.Encode(wireEnvelope{From: env.From, To: env.To, Msg: env.Msg}); err == nil {
-			return nil
-		}
-		p.dropConn(env.To)
+	o, err := p.outboundFor(env.To)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("transport: send to site %d failed", env.To)
+	o.enqueue([]mutex.Envelope{env})
+	return nil
 }
 
-func (p *TCPPeer) encoderFor(id mutex.SiteID) (*gob.Encoder, error) {
+// SendBatch implements BatchSender: consecutive same-destination runs are
+// queued in one operation and leave in one buffered write.
+func (p *TCPPeer) SendBatch(envs []mutex.Envelope) error {
+	var firstErr error
+	for start := 0; start < len(envs); {
+		end := start + 1
+		for end < len(envs) && envs[end].To == envs[start].To {
+			end++
+		}
+		o, err := p.outboundFor(envs[start].To)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			o.enqueue(envs[start:end])
+		}
+		start = end
+	}
+	return firstErr
+}
+
+// outboundFor returns the destination's writer, starting it on first use.
+func (p *TCPPeer) outboundFor(id mutex.SiteID) (*outbound, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if enc, ok := p.conns[id]; ok {
-		return enc, nil
+	if o, ok := p.outs[id]; ok {
+		return o, nil
+	}
+	select {
+	case <-p.stopC:
+		return nil, fmt.Errorf("transport: peer is closed")
+	default:
 	}
 	addr, ok := p.peers[id]
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %d", id)
 	}
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial peer %d: %w", id, err)
+	o := &outbound{
+		peer:   p,
+		id:     id,
+		addr:   addr,
+		notify: make(chan struct{}, 1),
 	}
-	enc := gob.NewEncoder(conn)
-	p.conns[id] = enc
-	p.raw[id] = conn
-	return enc, nil
+	p.outs[id] = o
+	p.wg.Add(1)
+	go o.run()
+	return o, nil
 }
 
-func (p *TCPPeer) dropConn(id mutex.SiteID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if conn, ok := p.raw[id]; ok {
+// outbound is one destination's write side: an unbounded FIFO of envelopes
+// drained by a dedicated writer goroutine over one persistent connection.
+type outbound struct {
+	peer *TCPPeer
+	id   mutex.SiteID
+	addr string
+
+	mu     sync.Mutex
+	queue  []wireEnvelope
+	notify chan struct{}
+
+	// conn is guarded by mu so Close can abort a blocked write from outside
+	// the writer goroutine; bw and enc are owned by the writer alone.
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+}
+
+func (o *outbound) enqueue(envs []mutex.Envelope) {
+	o.mu.Lock()
+	for _, env := range envs {
+		o.queue = append(o.queue, wireEnvelope{Resource: env.Resource, From: env.From, To: env.To, Msg: env.Msg})
+	}
+	o.mu.Unlock()
+	select {
+	case o.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run drains the queue: everything queued since the last drain — across all
+// resources — is encoded back-to-back and flushed in one write.
+func (o *outbound) run() {
+	defer o.peer.wg.Done()
+	defer o.closeConn()
+	for {
+		select {
+		case <-o.notify:
+		case <-o.peer.stopC:
+			return
+		}
+		for {
+			o.mu.Lock()
+			batch := o.queue
+			o.queue = nil
+			o.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			o.write(batch)
+		}
+	}
+}
+
+// write delivers one batch, reconnecting once mid-batch on a broken pipe.
+// A batch that cannot be delivered within the reconnect budget is dropped:
+// the peer is gone, which the failure protocol handles.
+func (o *outbound) write(batch []wireEnvelope) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if !o.ensureConn() {
+			return
+		}
+		ok := true
+		for _, we := range batch {
+			if err := o.enc.Encode(we); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && o.bw.Flush() == nil {
+			return
+		}
+		o.closeConn()
+	}
+}
+
+// ensureConn dials the destination with bounded exponential backoff. It
+// reports false when the budget is exhausted or the peer is shutting down.
+func (o *outbound) ensureConn() bool {
+	select {
+	case <-o.peer.stopC:
+		return false
+	default:
+	}
+	o.mu.Lock()
+	connected := o.conn != nil
+	o.mu.Unlock()
+	if connected {
+		return true
+	}
+	delay := reconnectBase
+	for attempt := 0; attempt < reconnectAttempts; attempt++ {
+		conn, err := net.DialTimeout("tcp", o.addr, dialTimeout)
+		if err == nil {
+			o.mu.Lock()
+			o.conn = conn
+			o.mu.Unlock()
+			o.bw = bufio.NewWriter(conn)
+			o.enc = gob.NewEncoder(o.bw)
+			return true
+		}
+		if attempt == reconnectAttempts-1 {
+			break
+		}
+		select {
+		case <-time.After(delay):
+		case <-o.peer.stopC:
+			return false
+		}
+		delay *= 2
+		if delay > reconnectMax {
+			delay = reconnectMax
+		}
+	}
+	return false
+}
+
+func (o *outbound) closeConn() {
+	o.mu.Lock()
+	conn := o.conn
+	o.conn = nil
+	o.mu.Unlock()
+	if conn != nil {
 		_ = conn.Close()
 	}
-	delete(p.conns, id)
-	delete(p.raw, id)
+	o.bw, o.enc = nil, nil
+}
+
+// abort closes the live connection from outside the writer goroutine,
+// unblocking a write stalled on a dead peer during shutdown. The writer's
+// own error path then clears its encoder state.
+func (o *outbound) abort() {
+	o.mu.Lock()
+	conn := o.conn
+	o.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
 }
 
 func (p *TCPPeer) acceptLoop() {
@@ -181,8 +441,18 @@ func (p *TCPPeer) readLoop(conn net.Conn) {
 			}
 			continue
 		}
-		p.node.Inject(mutex.Envelope{From: we.From, To: we.To, Msg: we.Msg})
+		// Route to the resource's instance, instantiating it lazily; an
+		// envelope for a name this peer cannot build is dropped.
+		_ = p.manager.Inject(mutex.Envelope{Resource: we.Resource, From: we.From, To: we.To, Msg: we.Msg})
 	}
+}
+
+// injectFailure announces a crashed site to every instantiated resource, so
+// each lock's §6 recovery rebuilds its quorums.
+func (p *TCPPeer) injectFailure(failed mutex.SiteID) {
+	p.manager.Each(func(name string, inst resource.Instance) {
+		inst.Inject(mutex.Envelope{Resource: name, From: p.self, To: p.self, Msg: mutex.FailureMsg{Failed: failed}})
+	})
 }
 
 // setHeartbeatSink routes incoming heartbeats to the detector.
@@ -192,21 +462,25 @@ func (p *TCPPeer) setHeartbeatSink(d *Detector) {
 	p.mu.Unlock()
 }
 
-// Close shuts the peer down: the node loop, the listener, and every
-// connection.
+// Close shuts the peer down: every resource's node loop, the listener, the
+// outbound writers, and every connection.
 func (p *TCPPeer) Close() {
 	p.stopOnce.Do(func() { close(p.stopC) })
-	p.node.Close()
+	p.manager.Close()
 	_ = p.listener.Close()
 	p.mu.Lock()
-	for id, conn := range p.raw {
-		_ = conn.Close()
-		delete(p.conns, id)
-		delete(p.raw, id)
+	outs := make([]*outbound, 0, len(p.outs))
+	for _, o := range p.outs {
+		outs = append(outs, o)
 	}
 	for conn := range p.inbound {
 		_ = conn.Close()
 	}
 	p.mu.Unlock()
+	// Abort live connections so writers stalled mid-write observe an error
+	// and then stopC; their deferred closeConn finishes the teardown.
+	for _, o := range outs {
+		o.abort()
+	}
 	p.wg.Wait()
 }
