@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tables fmt
+.PHONY: check vet build test race chaos soak fuzz bench tables fmt
 
-# The standard gate: what CI and pre-commit should run.
-check: vet build race
+# The standard gate: what CI and pre-commit should run. race already runs
+# the full seeded conformance sweep (internal/chaos/sweep) under -race;
+# chaos adds the short fuzz smoke on top.
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +18,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Seeded adversarial gate: the short conformance sweep plus a fuzz smoke of
+# the TCP envelope decoder. Replay a failing schedule with
+#   DQMX_CHAOS_SEED=<seed> $(GO) test -race -run TestChaosConformance ./internal/chaos/sweep
+chaos:
+	$(GO) test -race -short -run 'TestChaosConformance' ./internal/chaos/sweep
+	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/transport
+
+# Long adversarial soak: 10x the sweep plus model-boundary probes.
+soak:
+	$(GO) test -race -tags soak -timeout 60m ./internal/chaos/sweep
+
+# Extended fuzzing of the wire decoder.
+fuzz:
+	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 5m ./internal/transport
 
 # Regenerate the paper's evaluation (slow).
 bench:

@@ -1,0 +1,126 @@
+// Command dqmchaos soak-tests a live in-process cluster under seeded fault
+// injection: it runs a sweep of chaos schedules (drop, duplication,
+// reordering, delay, partitions, crash/recovery) against a real
+// multi-resource deployment of the protocol and reports every conformance
+// violation with the seed that reproduces it.
+//
+// Usage:
+//
+//	dqmchaos -n 9 -quorum grid -schedules 500
+//	dqmchaos -n 7 -quorum tree -seed 5042 -schedules 1    # replay one seed
+//	DQMX_CHAOS_SEED=5042 dqmchaos -n 7 -quorum tree       # same, via env
+//
+// The process exits non-zero when any schedule violates a checked
+// invariant (double CS holder, timestamp-order breach, message-bound
+// excess) or stalls a lossless schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dqmx/internal/chaos"
+	"dqmx/internal/chaos/sweep"
+	"dqmx/internal/harness"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 9, "number of sites")
+		quorum    = flag.String("quorum", "grid", "quorum construction (grid, tree, hqc, grid-set, rst, wall, majority, singleton)")
+		protocol  = flag.String("protocol", "delay-optimal", "protocol under test")
+		schedules = flag.Int("schedules", 200, "number of seeded schedules to run")
+		seed      = flag.Int64("seed", 1000, "base seed; schedule i runs seed+i")
+		locks     = flag.Int("locks", 2, "number of named locks contended per schedule")
+		perSite   = flag.Int("persite", 2, "acquire/release rounds per site per lock")
+		timeout   = flag.Duration("timeout", 400*time.Millisecond, "per-acquire timeout on lossy schedules")
+		verbose   = flag.Bool("v", false, "print every schedule, not only failures")
+	)
+	flag.Parse()
+
+	cons, err := harness.NewConstruction(*quorum)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := harness.NewAlgorithm(*protocol, cons, false)
+	if err != nil {
+		fatal(err)
+	}
+	assign, err := cons.Assign(*n)
+	if err != nil {
+		fatal(err)
+	}
+
+	seeds := make([]int64, 0, *schedules)
+	if replay, ok := chaos.SeedOverride(); ok {
+		seeds = append(seeds, replay)
+		fmt.Printf("replaying %s=%d\n", chaos.SeedEnv, replay)
+	} else {
+		for i := 0; i < *schedules; i++ {
+			seeds = append(seeds, *seed+int64(i))
+		}
+	}
+
+	resources := make([]string, *locks)
+	for i := range resources {
+		resources[i] = fmt.Sprintf("lock-%d", i)
+	}
+
+	failures := 0
+	var acquired, missed int
+	start := time.Now()
+	for _, s := range seeds {
+		plan := sweep.RandomPlan(s, *n)
+		enforceLiveness := plan.Lossless() && len(plan.Crashes) == 0
+		cfg := sweep.Config{
+			Algorithm:      alg,
+			N:              *n,
+			Plan:           plan,
+			Resources:      resources,
+			PerSite:        *perSite,
+			AcquireTimeout: *timeout,
+			Hold:           200 * time.Microsecond,
+			Assignment:     assign,
+		}
+		if enforceLiveness {
+			cfg.AcquireTimeout = 5 * time.Second
+			cfg.Patience = 3 * time.Second
+		}
+		res, err := sweep.Run(cfg)
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL seed=%d: %v\n  plan: %s\n", s, err, plan)
+			continue
+		}
+		acquired += res.Acquired
+		missed += res.Missed
+		bad := res.Failed() || (enforceLiveness && (len(res.Stalls) > 0 || res.Missed > 0))
+		if bad {
+			failures++
+			fmt.Printf("FAIL seed=%d (replay: %s=%d)\n  plan: %s\n", s, chaos.SeedEnv, s, plan)
+			for _, v := range res.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+			for _, stall := range res.Stalls {
+				fmt.Printf("  stall: %s\n", stall)
+			}
+			if enforceLiveness && res.Missed > 0 {
+				fmt.Printf("  %d rounds missed on a lossless schedule\n", res.Missed)
+			}
+		} else if *verbose {
+			fmt.Printf("ok   seed=%d acquired=%d missed=%d  %s\n", s, res.Acquired, res.Missed, plan)
+		}
+	}
+	fmt.Printf("%d schedules in %v: %d failed, %d CS entries, %d rounds missed\n",
+		len(seeds), time.Since(start).Round(time.Millisecond), failures, acquired, missed)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqmchaos:", err)
+	os.Exit(1)
+}

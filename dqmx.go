@@ -31,8 +31,10 @@
 package dqmx
 
 import (
+	"errors"
 	"fmt"
 
+	"dqmx/internal/chaos"
 	"dqmx/internal/core"
 	"dqmx/internal/coterie"
 	"dqmx/internal/harness"
@@ -64,6 +66,30 @@ type Lock = resource.Lock
 // ResourcePolicy bounds and validates named-lock resource names. Validation
 // runs once per name (handles are cached), never per acquire.
 type ResourcePolicy = resource.Policy
+
+// Acquire/Release error conditions, re-exported for errors.Is checks at the
+// public surface.
+var (
+	// ErrBusy means the site already holds or awaits the critical section
+	// (sites execute their requests one by one).
+	ErrBusy = transport.ErrBusy
+	// ErrClosed means the node or cluster has shut down.
+	ErrClosed = transport.ErrClosed
+	// ErrNotHeld means Release was called without a held critical section.
+	ErrNotHeld = transport.ErrNotHeld
+)
+
+// ChaosPlan is a seeded fault-injection schedule for in-process clusters:
+// message drop, duplication, reordering, bounded delay, partitions, and
+// site crashes, all derived deterministically from the plan's single seed.
+// See Options.Chaos and the "Adversarial testing" section of the README.
+type ChaosPlan = chaos.Plan
+
+// ChaosPartition isolates a group of sites during a time window.
+type ChaosPartition = chaos.Partition
+
+// ChaosCrash schedules a site crash executed through the §6 failure path.
+type ChaosCrash = chaos.Crash
 
 // Quorum names a quorum construction.
 type Quorum string
@@ -199,6 +225,10 @@ type Options struct {
 	// clusters. The zero value applies the defaults (non-empty names up to
 	// 128 bytes).
 	Resources ResourcePolicy
+	// Chaos, when non-nil, interposes the seeded fault-injection layer on
+	// an in-process cluster (NewClusterWith only — TCP deployments and
+	// simulations reject it; the simulator has its own fault machinery).
+	Chaos *ChaosPlan
 }
 
 // Validate checks that the options name a known protocol and quorum
@@ -254,6 +284,7 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 		Metrics:   opts.collector(),
 		Observer:  opts.Observer,
 		Policy:    opts.Resources,
+		Chaos:     opts.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -337,6 +368,9 @@ func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 	if int(id) < 0 || int(id) >= n {
 		return nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
 	}
+	if opts.Chaos != nil {
+		return nil, errors.New("dqmx: chaos injection is supported on in-process clusters only")
+	}
 	alg, err := opts.algorithm()
 	if err != nil {
 		return nil, err
@@ -392,6 +426,9 @@ const (
 // executions per site and returns the measured metrics. It is the
 // programmatic face of the paper's evaluation harness.
 func Simulate(n int, opts Options, load LoadShape, perSite int, seed int64) (SimulationResult, error) {
+	if opts.Chaos != nil {
+		return SimulationResult{}, errors.New("dqmx: chaos injection applies to live clusters; use SimulateWithCrashes for simulated faults")
+	}
 	alg, err := opts.algorithm()
 	if err != nil {
 		return SimulationResult{}, err
@@ -432,6 +469,9 @@ type CrashEvent struct {
 // after a failure-detection delay and the §6 recovery protocol rebuilds the
 // affected quorums. It returns the metrics of the surviving executions.
 func SimulateWithCrashes(n int, opts Options, perSite int, crashes []CrashEvent, seed int64) (SimulationResult, error) {
+	if opts.Chaos != nil {
+		return SimulationResult{}, errors.New("dqmx: chaos injection applies to live clusters; use the crashes argument for simulated faults")
+	}
 	alg, err := opts.algorithm()
 	if err != nil {
 		return SimulationResult{}, err

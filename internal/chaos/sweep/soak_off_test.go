@@ -1,0 +1,7 @@
+//go:build !soak
+
+package sweep
+
+// soakFactor scales the conformance sweep; the soak build tag raises it for
+// long adversarial runs (`go test -race -tags soak ./internal/chaos/sweep`).
+const soakFactor = 1

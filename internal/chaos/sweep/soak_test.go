@@ -1,0 +1,62 @@
+//go:build soak
+
+package sweep
+
+// Long-mode chaos soak: `go test -race -tags soak ./internal/chaos/sweep`
+// multiplies the seeded sweep tenfold (2000+ schedules) and adds a
+// duplication sweep probing beyond the protocol's exactly-once channel
+// model. Every schedule stays replayable by seed.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dqmx/internal/chaos"
+	"dqmx/internal/harness"
+)
+
+const soakFactor = 10
+
+// TestSoakDuplication explores duplicated deliveries on the grid coterie.
+// Exactly-once delivery is part of the paper's system model, so this runs
+// only under the soak tag as an exploratory probe: safety violations here
+// chart the model boundary rather than fail the conformance contract, but
+// harness errors still fail the run and every schedule prints its seed.
+func TestSoakDuplication(t *testing.T) {
+	cons, err := harness.NewConstruction("maekawa-grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := harness.NewAlgorithm("delay-optimal", cons, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		seed := int64(9000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			plan := chaos.Plan{
+				Seed:      seed,
+				Duplicate: 0.05,
+				Reorder:   0.1,
+				MaxDelay:  2 * time.Millisecond,
+			}
+			res, err := Run(Config{
+				Algorithm:      alg,
+				N:              9,
+				Plan:           plan,
+				Resources:      []string{"alpha", "beta"},
+				PerSite:        2,
+				AcquireTimeout: 2 * time.Second,
+				Hold:           100 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v\nplan: %s", seed, err, plan)
+			}
+			for _, v := range res.Violations {
+				t.Logf("seed %d (model-boundary probe): %s\nplan: %s", seed, v, plan)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
 )
 
 // HoldsPermissionOf reports whether the site currently counts arb's
@@ -12,6 +13,18 @@ import (
 // permission-exclusivity invariant checker in tests.
 func (s *Site) HoldsPermissionOf(arb mutex.SiteID) bool {
 	return s.replied[arb]
+}
+
+// RequestTimestamp implements mutex.TimestampedSite: the timestamp of the
+// in-flight request, valid while the site is not idle.
+func (s *Site) RequestTimestamp() (timestamp.Timestamp, bool) {
+	return s.reqTS, s.state != stateIdle
+}
+
+// DebugString renders the site's full protocol state; it is the per-site
+// dump drivers pick up for liveness diagnostics.
+func (s *Site) DebugString() string {
+	return fmt.Sprintf("site %d: %s", s.id, DebugState(s))
 }
 
 // DebugState renders a site's full protocol state for diagnostics and test

@@ -1,0 +1,97 @@
+package coterie
+
+// Property-based coverage of every registered quorum construction at
+// randomized system sizes: Intersection (the safety-bearing coterie
+// property) must hold unconditionally, and Minimality must hold at every
+// structurally regular size. Several classical constructions genuinely
+// produce non-minimal coteries at edge sizes — a truncated grid row can
+// contain another site's quorum, for example — so minimality is asserted
+// against an explicit per-construction regularity predicate rather than
+// watered down globally. The predicates were validated exhaustively for
+// every registered construction up to n=200.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// minimalityRegular reports whether the construction guarantees Minimality
+// at size n. Sizes outside the predicate are documented waivers, not bugs:
+// the shapes the paper evaluates are all regular.
+func minimalityRegular(name string, n int) bool {
+	switch name {
+	case "maekawa-grid":
+		// Truncated grids (n < cols*rows) can nest one site's row+column
+		// inside another's.
+		cols := int(math.Ceil(math.Sqrt(float64(n))))
+		if cols == 0 {
+			cols = 1
+		}
+		rows := (n + cols - 1) / cols
+		return n == cols*rows
+	case "grid-set":
+		// GroupSize 4 (the registered shape): a partial trailing group
+		// shrinks its internal grid below the other groups'.
+		return n%4 == 0
+	case "rst":
+		// SubgroupSize 3: the group count itself must form a complete
+		// group-level grid.
+		groups := (n + 2) / 3
+		cols := int(math.Ceil(math.Sqrt(float64(groups))))
+		if cols == 0 {
+			cols = 1
+		}
+		rows := (groups + cols - 1) / cols
+		return groups == cols*rows
+	case "crumbling-wall":
+		// Triangular rows 1,2,3,…: a truncated last row of width 1 makes
+		// that row's site a universal representative.
+		rem := n
+		for w := 1; rem > w; w++ {
+			rem -= w
+		}
+		return !(rem == 1 && n > 1)
+	default:
+		return true
+	}
+}
+
+// propertySeeds is the table of sweep seeds: failures name the seed, so one
+// entry reproduces in isolation.
+var propertySeeds = []int64{1, 7, 42, 1998, 20260805}
+
+func TestConstructionPropertiesRandomizedN(t *testing.T) {
+	for _, cons := range Constructions() {
+		cons := cons
+		t.Run(cons.Name(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range propertySeeds {
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 40; i++ {
+					n := 1 + rng.Intn(96)
+					a, err := cons.Assign(n)
+					if err != nil {
+						t.Fatalf("seed %d: Assign(%d): %v", seed, n, err)
+					}
+					if a.N != n || len(a.Quorums) != n {
+						t.Fatalf("seed %d: Assign(%d) returned %d quorums for N=%d",
+							seed, n, len(a.Quorums), a.N)
+					}
+					if err := a.Validate(); err != nil {
+						t.Errorf("seed %d: n=%d violates Intersection: %v", seed, n, err)
+					}
+					minErr := a.CheckMinimality()
+					if minErr != nil && minimalityRegular(cons.Name(), n) {
+						t.Errorf("seed %d: n=%d regular but non-minimal: %v", seed, n, minErr)
+					}
+					if minErr == nil && !minimalityRegular(cons.Name(), n) {
+						// Informational only: the waiver is allowed to be
+						// conservative, but log when it fires needlessly.
+						t.Logf("seed %d: n=%d waived but actually minimal", seed, n)
+					}
+				}
+			}
+		})
+	}
+}

@@ -85,6 +85,16 @@ type Site interface {
 	Pending() bool
 }
 
+// TimestampedSite is implemented by sites that can expose the Lamport
+// timestamp of their in-flight request. Drivers use it to stamp request
+// events for external ordering checks; it is strictly observational and
+// must be called only from the goroutine driving the site.
+type TimestampedSite interface {
+	// RequestTimestamp returns the timestamp of the current request and
+	// whether one is in flight (issued and not yet exited).
+	RequestTimestamp() (timestamp.Timestamp, bool)
+}
+
 // FailureObserver is implemented by algorithms that support the paper's §6
 // fault-tolerance extension. Drivers call SiteFailed on every surviving site
 // when a failure(f) notification is delivered.

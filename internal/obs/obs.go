@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
 )
 
 // EventType enumerates the protocol lifecycle events drivers emit.
@@ -84,6 +85,11 @@ type Event struct {
 	// are multiplexed over one site set. The empty string is the default
 	// resource (single-lock deployments and the simulator).
 	Resource string
+	// ReqTS is the protocol's logical request timestamp for EventRequest
+	// events, when the site exposes one (mutex.TimestampedSite). The zero
+	// value means the timestamp is unavailable; conformance checkers must
+	// then skip timestamp-order assertions for the request.
+	ReqTS timestamp.Timestamp
 }
 
 // String renders the event as one trace line.

@@ -33,13 +33,30 @@ func RegisterGobMessages() {
 // protocol can rebuild each lock's quorums. It blocks until the
 // notifications are injected.
 func (c *Cluster) KillSite(id mutex.SiteID, detectAfter time.Duration) {
+	c.killSite(id, detectAfter, nil)
+}
+
+// killSite is KillSite with an interruptible detection delay: closing stopC
+// during the delay abandons the kill without injecting notifications (used
+// by the chaos crash scheduler so Cluster.Close never waits out a pending
+// detection window).
+func (c *Cluster) killSite(id mutex.SiteID, detectAfter time.Duration, stopC <-chan struct{}) {
 	victim := c.manager(id)
 	if victim == nil {
 		return
 	}
+	if f := c.fabric; f != nil {
+		f.MarkCrashed(id)
+	}
 	victim.Close()
 	if detectAfter > 0 {
-		time.Sleep(detectAfter)
+		timer := time.NewTimer(detectAfter)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-stopC:
+			return
+		}
 	}
 	for j, mgr := range c.managers {
 		if mutex.SiteID(j) == id {

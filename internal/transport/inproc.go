@@ -3,8 +3,11 @@ package transport
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
+	"dqmx/internal/chaos"
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
 	"dqmx/internal/resource"
@@ -60,6 +63,12 @@ type ClusterConfig struct {
 	Observer obs.Sink
 	// Policy bounds named-lock resource names.
 	Policy resource.Policy
+	// Chaos, when non-nil, interposes a seeded fault-injecting fabric
+	// between every node and the in-process mailboxes: message drop,
+	// duplication, reordering, bounded delay, and partitions per the plan,
+	// plus scheduled site crashes executed through the §6 failure path.
+	// In-process clusters only.
+	Chaos *chaos.Plan
 }
 
 // Cluster hosts every site of an algorithm in one process and multiplexes
@@ -75,6 +84,10 @@ type Cluster struct {
 	sink     obs.Sink     // combined metrics+observer sink
 	managers []*resource.Manager
 	nodes    []*Node // default-resource instances, cached for Node(id)
+
+	fabric    *chaos.Fabric // nil unless chaos injection was requested
+	chaosStop chan struct{}
+	chaosWG   sync.WaitGroup
 
 	mu       sync.Mutex
 	siteSets map[string][]mutex.Site // per-resource machines, built once per resource
@@ -116,7 +129,27 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("transport: build sites: %w", err)
 	}
 	c.siteSets[resource.Default] = defaultSites
-	sender := inprocSender{cluster: c}
+	var sender BatchSender = inprocSender{cluster: c}
+	if cfg.Chaos != nil {
+		direct := sender
+		c.fabric = chaos.NewFabric(*cfg.Chaos, direct.Send)
+		sender = c.fabric
+		c.chaosStop = make(chan struct{})
+		for _, cr := range cfg.Chaos.Crashes {
+			cr := cr
+			c.chaosWG.Add(1)
+			go func() {
+				defer c.chaosWG.Done()
+				timer := time.NewTimer(cr.After)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+					c.killSite(cr.Site, cr.DetectAfter, c.chaosStop)
+				case <-c.chaosStop:
+				}
+			}()
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		id := mutex.SiteID(i)
 		c.managers[i] = resource.NewManager(resource.Config{
@@ -218,6 +251,35 @@ func (c *Cluster) Node(id mutex.SiteID) *Node {
 // N returns the number of sites.
 func (c *Cluster) N() int { return c.n }
 
+// Chaos returns the cluster's fault-injecting fabric, or nil when the
+// cluster was built without a chaos plan. Conformance harnesses use it to
+// install a delivery hook.
+func (c *Cluster) Chaos() *chaos.Fabric { return c.fabric }
+
+// DumpState renders the protocol state of every instantiated resource node
+// in the cluster, one line per (site, resource). Each line is produced on
+// the owning node's loop goroutine, so the dump is safe under live traffic.
+func (c *Cluster) DumpState() string {
+	var b strings.Builder
+	for _, mgr := range c.managers {
+		if mgr == nil {
+			continue
+		}
+		mgr.Each(func(name string, inst resource.Instance) {
+			node, ok := inst.(*Node)
+			if !ok {
+				return
+			}
+			label := name
+			if label == resource.Default {
+				label = "(default)"
+			}
+			fmt.Fprintf(&b, "[%s] %s\n", label, node.Dump())
+		})
+	}
+	return b.String()
+}
+
 func (c *Cluster) manager(id mutex.SiteID) *resource.Manager {
 	if int(id) < 0 || int(id) >= len(c.managers) {
 		return nil
@@ -226,11 +288,19 @@ func (c *Cluster) manager(id mutex.SiteID) *resource.Manager {
 }
 
 // Close stops every instance of every resource and waits for their loops to
-// exit.
+// exit, then tears down the chaos layer if one was installed.
 func (c *Cluster) Close() {
+	if c.chaosStop != nil {
+		close(c.chaosStop)
+		c.chaosWG.Wait()
+		c.chaosStop = nil
+	}
 	for _, mgr := range c.managers {
 		if mgr != nil {
 			mgr.Close()
 		}
+	}
+	if c.fabric != nil {
+		c.fabric.Close()
 	}
 }

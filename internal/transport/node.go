@@ -8,6 +8,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -103,6 +104,7 @@ type Node struct {
 
 	acquireC chan chan error
 	releaseC chan chan error
+	dumpC    chan chan string
 	stopOnce sync.Once
 	stopC    chan struct{}
 	doneC    chan struct{}
@@ -127,6 +129,7 @@ func NewNodeObserved(site mutex.Site, sender Sender, sink obs.Sink) *Node {
 		sink:     sink,
 		acquireC: make(chan chan error),
 		releaseC: make(chan chan error),
+		dumpC:    make(chan chan string),
 		stopC:    make(chan struct{}),
 		doneC:    make(chan struct{}),
 	}
@@ -213,6 +216,20 @@ func (n *Node) Release() error {
 	}
 }
 
+// Dump renders the site's protocol state for diagnostics (liveness
+// watchdogs, operator tooling). The render runs on the node's own loop
+// goroutine — the only place the state machine may be touched — so it is
+// safe to call concurrently with protocol traffic.
+func (n *Node) Dump() string {
+	resp := make(chan string, 1)
+	select {
+	case n.dumpC <- resp:
+		return <-resp
+	case <-n.doneC:
+		return fmt.Sprintf("site %d: node closed", n.site.ID())
+	}
+}
+
 // Close stops the node's event loop and waits for it to exit.
 func (n *Node) Close() {
 	n.stopOnce.Do(func() { close(n.stopC) })
@@ -246,10 +263,20 @@ func (n *Node) run() {
 				continue
 			}
 			n.waiter = resp
+			// Request() first, observe second: the event can then carry the
+			// request's logical timestamp. apply follows, so the event still
+			// precedes every EventSend of the request wave.
+			out := n.site.Request()
 			if n.sink != nil {
-				n.observe(obs.EventRequest, n.site.ID(), "")
+				e := obs.Event{Type: obs.EventRequest, Site: n.site.ID(), Peer: n.site.ID(), Time: nanos()}
+				if ts, ok := n.site.(mutex.TimestampedSite); ok {
+					if reqTS, pending := ts.RequestTimestamp(); pending {
+						e.ReqTS = reqTS
+					}
+				}
+				n.sink(e)
 			}
-			n.apply(n.site.Request())
+			n.apply(out)
 		case resp := <-n.releaseC:
 			if !n.site.InCS() {
 				resp <- ErrNotHeld
@@ -260,10 +287,21 @@ func (n *Node) run() {
 			}
 			n.apply(n.site.Exit())
 			resp <- nil
+		case resp := <-n.dumpC:
+			resp <- siteDebug(n.site)
 		case <-n.stopC:
 			return
 		}
 	}
+}
+
+// siteDebug renders one site's protocol state, preferring the rich dump of
+// sites that expose one over the generic lifecycle summary.
+func siteDebug(s mutex.Site) string {
+	if d, ok := s.(interface{ DebugString() string }); ok {
+		return d.DebugString()
+	}
+	return fmt.Sprintf("site %d: inCS=%v pending=%v", s.ID(), s.InCS(), s.Pending())
 }
 
 // apply executes one state-machine step's effects: self-addressed envelopes

@@ -418,6 +418,20 @@ func (p *TCPPeer) acceptLoop() {
 	}
 }
 
+// decodeWireEnvelope decodes one frame from the stream. Malformed or
+// truncated input must surface as an error, never kill the reader: gob's
+// decoder is not hardened against hostile bytes and can panic on
+// pathological inputs, so panics are converted into errors here.
+func decodeWireEnvelope(dec *gob.Decoder) (we wireEnvelope, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("transport: decode envelope: %v", r)
+		}
+	}()
+	err = dec.Decode(&we)
+	return we, err
+}
+
 func (p *TCPPeer) readLoop(conn net.Conn) {
 	defer p.wg.Done()
 	defer func() {
@@ -428,8 +442,8 @@ func (p *TCPPeer) readLoop(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	for {
-		var we wireEnvelope
-		if err := dec.Decode(&we); err != nil {
+		we, err := decodeWireEnvelope(dec)
+		if err != nil {
 			return
 		}
 		if hb, ok := we.Msg.(heartbeatMsg); ok {
