@@ -19,20 +19,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Seeded adversarial gate: the short conformance sweep plus a fuzz smoke of
-# the TCP envelope decoder. Replay a failing schedule with
+# Seeded adversarial gate: the short conformance sweep, the lossy-liveness
+# sweep (drop-only schedules must complete every round — the reliable
+# delivery sublayer heals the loss), and a fuzz smoke of the TCP frame
+# decoders. Replay a failing schedule with
 #   DQMX_CHAOS_SEED=<seed> $(GO) test -race -run TestChaosConformance ./internal/chaos/sweep
 chaos:
-	$(GO) test -race -short -run 'TestChaosConformance' ./internal/chaos/sweep
+	$(GO) test -race -short -run 'TestChaosConformance|TestLossyLiveness' ./internal/chaos/sweep
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/transport
+	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 10s ./internal/transport
 
 # Long adversarial soak: 10x the sweep plus model-boundary probes.
 soak:
 	$(GO) test -race -tags soak -timeout 60m ./internal/chaos/sweep
 
-# Extended fuzzing of the wire decoder.
+# Extended fuzzing of the wire decoders.
 fuzz:
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 5m ./internal/transport
+	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 5m ./internal/transport
 
 # Regenerate the paper's evaluation (slow).
 bench:

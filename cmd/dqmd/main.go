@@ -216,6 +216,8 @@ func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog) error 
 		}
 		fmt.Fprintf(w, "sync delay  %s\nresponse    %s\nwaiting     %s\n",
 			fmtDelay(s.SyncDelay), fmtDelay(s.Response), fmtDelay(s.Waiting))
+		fmt.Fprintf(w, "transport   retransmits %d  dups suppressed %d  acks %d\n",
+			s.Transport.Retransmits, s.Transport.DupSuppressed, s.Transport.AcksSent)
 		fmt.Fprintf(w, "\nrecent events (oldest first):\n")
 		for _, e := range ring.events() {
 			fmt.Fprintln(w, e)

@@ -15,19 +15,29 @@
 //
 // Semantics of the knobs:
 //
-//   - Drop loses the message. Note that the protocol assumes reliable
-//     channels, so a lossy plan can legitimately stall acquires — drops
-//     probe safety ("nothing bad happens"), not liveness.
+//   - Drop loses the wire copy of a message. The transport's reliable-
+//     delivery sublayer sits above the fabric and retransmits until an
+//     acknowledgement lands, so a drop-only plan merely delays the protocol:
+//     liveness is a checkable claim on such schedules (LivenessExpected).
 //   - MinDelay/MaxDelay add bounded latency while preserving per-stream
 //     FIFO order, staying inside the paper's channel model.
 //   - Reorder lets a message fall behind later traffic of its own stream —
-//     an explicit FIFO violation.
-//   - Duplicate delivers the message twice; exactly-once delivery is also a
-//     model assumption, so duplication is an exploratory knob, not part of
-//     the default conformance sweeps.
+//     a wire-level FIFO violation the sublayer's reorder buffer heals.
+//   - Duplicate delivers the wire copy twice; the sublayer's dedup collapses
+//     it back to exactly-once before the protocol sees it.
 //   - Partitions drop messages crossing the group boundary during a time
 //     window (evaluated at delivery time, so delayed messages cannot tunnel
-//     through a cut).
+//     through a cut). A partition outlasting the workload's patience can
+//     still legitimately stall acquires, so partition schedules assert
+//     safety only.
+//
+// Fabric decisions are keyed by each stream's transmission counter, not the
+// sublayer's sequence numbers: a retransmitted copy is a new transmission
+// and gets a fresh draw (keying on the sequence number would make a dropped
+// message's every retransmission repeat the same drop verdict forever).
+// Replaying a seed therefore reproduces the per-transmission decision
+// sequence exactly, while which protocol message each decision lands on
+// still varies with retransmission timing.
 package chaos
 
 import (
@@ -104,12 +114,21 @@ func (p Plan) Quiet() bool {
 		len(p.Partitions) == 0 && len(p.Crashes) == 0
 }
 
-// Lossless reports whether every sent message is eventually delivered —
-// the condition under which the protocol's liveness is a testable claim.
-// Crashes are allowed: the §6 recovery protocol is expected to restore
-// progress for the survivors.
+// Lossless reports whether every sent message's wire copy is delivered
+// without the reliability sublayer's help. Crashes are allowed: the §6
+// recovery protocol is expected to restore progress for the survivors.
 func (p Plan) Lossless() bool {
 	return p.Drop == 0 && len(p.Partitions) == 0
+}
+
+// LivenessExpected reports whether the protocol stack must stay live under
+// the plan: every fault it injects — drop, duplication, reordering, delay —
+// is healed by the transport's reliable-delivery sublayer. Only crashes and
+// partitions remain outside the liveness contract (a crash can strand a
+// round at the victim and a long cut can outlast any finite patience), so
+// schedules without either must complete every acquire.
+func (p Plan) LivenessExpected() bool {
+	return len(p.Crashes) == 0 && len(p.Partitions) == 0
 }
 
 // String summarizes the plan for failure reports, always naming the seed.

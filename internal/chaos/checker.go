@@ -9,15 +9,17 @@
 //     strongest order claim that actually holds for Maekawa-family
 //     protocols: a request still in flight can legitimately be overtaken
 //     (the arbiter's inquire only revokes grants before CS entry), so the
-//     checker tracks each request's wave through the fabric's delivery
+//     checker tracks each request's wave through the transport's delivery
 //     hook and only asserts the pairs the protocol guarantees.
 //  3. Message bound — a fault-free run's per-resource message count per CS
 //     entry stays within the paper's 3(K-1)..6(K-1) envelope.
 //
 // A liveness watchdog flags acquires that have been pending longer than a
-// patience threshold, attaching a per-site protocol state dump. Liveness is
-// only a testable claim for lossless plans: the protocol assumes reliable
-// channels, so schedules with drops or partitions may legitimately stall.
+// patience threshold, attaching a per-site protocol state dump. With the
+// transport's reliable-delivery sublayer healing drops, duplicates, and
+// reordering, liveness is a testable claim for every schedule without
+// crashes or partitions (Plan.LivenessExpected); only those two faults can
+// legitimately stall an acquire.
 
 package chaos
 
@@ -34,7 +36,7 @@ import (
 
 // Violation is one detected conformance breach.
 type Violation struct {
-	// Kind is "safety", "order", "bound", or "protocol".
+	// Kind is "safety", "order", "bound", "protocol", or "transport".
 	Kind     string
 	Resource string
 	Site     mutex.SiteID
@@ -89,6 +91,13 @@ type Checker struct {
 	resources map[string]*resState
 	failed    map[mutex.SiteID]bool
 	vs        []Violation
+
+	// Reliability-sublayer health, fed by the transport-level events. These
+	// never touch the per-resource send counts, so CheckBounds keeps
+	// asserting the paper's envelope on the protocol messages alone.
+	retransmits   uint64
+	dupSuppressed uint64
+	acksSent      uint64
 }
 
 // NewChecker returns an empty conformance checker.
@@ -121,6 +130,17 @@ func (c *Checker) violate(kind, resource string, site mutex.SiteID, format strin
 func (c *Checker) Observe(e obs.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	switch e.Type {
+	case obs.EventRetransmit:
+		c.retransmits++
+		return
+	case obs.EventDupDrop:
+		c.dupSuppressed++
+		return
+	case obs.EventAckSend:
+		c.acksSent++
+		return
+	}
 	rs := c.state(e.Resource)
 	switch e.Type {
 	case obs.EventRequest:
@@ -181,10 +201,12 @@ func (c *Checker) Observe(e obs.Event) {
 	}
 }
 
-// Delivered is the fabric's delivery hook: it settles request waves.
-// Duplicate copies are ignored so a wave settles exactly when each original
-// request message has landed once; dropped messages never settle the wave,
-// which conservatively exempts the request from ordering assertions.
+// Delivered is the transport's delivery hook: it settles request waves.
+// Wire it to Cluster.SetDeliveryHook, whose exactly-once view means each
+// request message settles the wave precisely once — retransmitted and
+// duplicated copies are already suppressed below the hook, and a dropped
+// wire copy settles later when its retransmission lands. Duplicate-flagged
+// calls (the raw fabric fallback) are still ignored defensively.
 func (c *Checker) Delivered(env mutex.Envelope, dup bool) {
 	if dup || env.Msg == nil || env.Msg.Kind() != mutex.KindRequest {
 		return
@@ -206,6 +228,14 @@ func (c *Checker) Delivered(env mutex.Envelope, dup bool) {
 		c.seq++
 		req.settleSeq = c.seq
 	}
+}
+
+// Transport reports the reliability-sublayer counters observed so far:
+// retransmissions, suppressed duplicates, and standalone acks.
+func (c *Checker) Transport() (retransmits, dupSuppressed, acksSent uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retransmits, c.dupSuppressed, c.acksSent
 }
 
 // Violations returns the breaches recorded so far.

@@ -5,3 +5,11 @@ package sweep
 // soakFactor scales the conformance sweep; the soak build tag raises it for
 // long adversarial runs (`go test -race -tags soak ./internal/chaos/sweep`).
 const soakFactor = 1
+
+// Lossy-liveness sweep shape (TestLossyLiveness): the soak tag widens the
+// drop range and multiplies the schedule count.
+const (
+	lossySchedules = 8
+	lossyDropFloor = 0.02
+	lossyDropCeil  = 0.12
+)

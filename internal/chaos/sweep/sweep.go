@@ -32,8 +32,10 @@ type Config struct {
 	// PerSite is how many acquire/release rounds each site runs per
 	// resource.
 	PerSite int
-	// AcquireTimeout bounds each acquire attempt. Lossy schedules rely on
-	// it: a dropped request wave stalls until the deadline abandons it.
+	// AcquireTimeout bounds each acquire attempt. With the reliability
+	// sublayer healing drops, only crash and partition schedules still rely
+	// on it; liveness-expected plans get a generous deadline that a
+	// conforming run never hits.
 	AcquireTimeout time.Duration
 	// Hold is the simulated critical-section duration.
 	Hold time.Duration
@@ -56,6 +58,10 @@ type Result struct {
 	// Acquired and Missed count workload rounds that entered the CS versus
 	// timed out or hit a closed (crashed) site.
 	Acquired, Missed int
+	// Retransmits, DupSuppressed, and AcksSent report the reliability
+	// sublayer's work during the schedule. A quiet plan must show zero
+	// retransmissions (enforced as a "transport" violation).
+	Retransmits, DupSuppressed, AcksSent uint64
 }
 
 // Failed reports whether the schedule violated a checked invariant.
@@ -75,7 +81,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sweep: build cluster: %w", err)
 	}
 	defer cluster.Close()
-	cluster.Chaos().SetDeliveryHook(checker.Delivered)
+	cluster.SetDeliveryHook(checker.Delivered)
 
 	var res Result
 	var resMu sync.Mutex
@@ -165,7 +171,16 @@ func Run(cfg Config) (Result, error) {
 		lo, hi := chaos.MessageBounds(cfg.Assignment)
 		checker.CheckBounds(lo, hi)
 	}
+	res.Retransmits, res.DupSuppressed, res.AcksSent = checker.Transport()
 	res.Violations = checker.Violations()
+	if cfg.Plan.Quiet() && res.Retransmits > 0 {
+		// A fault-free wire must never trip the retransmission timer: a
+		// spurious retransmit means the backoff undercuts the ack path.
+		res.Violations = append(res.Violations, chaos.Violation{
+			Kind:   "transport",
+			Detail: fmt.Sprintf("%d retransmissions on a fault-free schedule", res.Retransmits),
+		})
+	}
 	return res, nil
 }
 

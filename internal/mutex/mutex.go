@@ -35,11 +35,20 @@ type Message interface {
 // and transports route incoming ones by it. The zero value is the default
 // resource, so single-lock deployments — and the discrete-event simulator —
 // ignore the field entirely.
+//
+// Seq and Ack are transport metadata stamped by the reliable-delivery
+// sublayer (internal/transport): Seq is the envelope's position in its
+// (From, To) stream (0 means unsequenced transport-level traffic), Ack is
+// the cumulative acknowledgement piggybacked for the reverse stream. State
+// machines never read or set either field; the zero values keep the gob
+// wire format byte-compatible with pre-reliability peers.
 type Envelope struct {
 	Resource string
 	From     SiteID
 	To       SiteID
 	Msg      Message
+	Seq      uint64
+	Ack      uint64
 }
 
 // Output collects the externally visible effects of one state-machine step.

@@ -120,6 +120,21 @@ type DelayStats struct {
 	P50, P99 int64
 }
 
+// TransportStats counts the reliable-delivery sublayer's own traffic. It is
+// collector-global (the sublayer multiplexes every resource over one set of
+// site-pair streams) and deliberately separate from the protocol counters:
+// retransmissions, duplicate suppressions, and standalone acks never touch
+// Messages or ByKind, so the paper's 3(K−1)..6(K−1) accounting stays exact.
+type TransportStats struct {
+	// Retransmits counts envelopes re-sent after an acknowledgement timeout.
+	Retransmits uint64
+	// DupSuppressed counts received envelopes dropped as already delivered.
+	DupSuppressed uint64
+	// AcksSent counts standalone cumulative acknowledgements (piggybacked
+	// acks ride existing messages and are not counted).
+	AcksSent uint64
+}
+
 // Snapshot is a point-in-time copy of the aggregated metrics.
 type Snapshot struct {
 	// Events is the total number of observed events.
@@ -147,6 +162,9 @@ type Snapshot struct {
 	// Response is the request→exit delay; Waiting is request→entry.
 	Response DelayStats
 	Waiting  DelayStats
+	// Transport reports the reliability sublayer's health. Like Events it is
+	// collector-global, so SnapshotResource repeats the same totals.
+	Transport TransportStats
 }
 
 // Kinds returns the snapshot's message kinds in canonical table order
@@ -190,9 +208,10 @@ func (s Snapshot) Kinds() []string {
 // crash inside the CS leaves the interrupted execution out of the delay
 // stats, just as Summarize drops its record.
 type Metrics struct {
-	mu     sync.Mutex
-	events uint64
-	res    map[string]*resourceAgg
+	mu        sync.Mutex
+	events    uint64
+	transport TransportStats
+	res       map[string]*resourceAgg
 }
 
 // resourceAgg is the per-resource accumulator; all fields are guarded by the
@@ -234,6 +253,20 @@ func (m *Metrics) Observe(e Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.events++
+	// Transport-level events carry no resource: they feed the global
+	// reliability counters and must never reach the per-resource message
+	// accounting below.
+	switch e.Type {
+	case EventRetransmit:
+		m.transport.Retransmits++
+		return
+	case EventDupDrop:
+		m.transport.DupSuppressed++
+		return
+	case EventAckSend:
+		m.transport.AcksSent++
+		return
+	}
 	a, ok := m.res[e.Resource]
 	if !ok {
 		a = newResourceAgg()
@@ -273,9 +306,10 @@ func (m *Metrics) Observe(e Event) {
 }
 
 // snapshotLocked summarizes one aggregate; the caller holds m.mu.
-func (a *resourceAgg) snapshotLocked(events uint64) Snapshot {
+func (a *resourceAgg) snapshotLocked(events uint64, transport TransportStats) Snapshot {
 	s := Snapshot{
 		Events:     events,
+		Transport:  transport,
 		Messages:   a.messages,
 		ByKind:     make(map[string]uint64, len(a.byKind)),
 		Requests:   a.requests,
@@ -304,8 +338,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Events: m.events,
-		ByKind: make(map[string]uint64),
+		Events:    m.events,
+		Transport: m.transport,
+		ByKind:    make(map[string]uint64),
 	}
 	var syncDelay, response, waiting Histogram
 	for _, a := range m.res {
@@ -341,7 +376,7 @@ func (m *Metrics) SnapshotResource(resource string) (snap Snapshot, ok bool) {
 	if !ok {
 		return Snapshot{}, false
 	}
-	return a.snapshotLocked(m.events), true
+	return a.snapshotLocked(m.events, m.transport), true
 }
 
 // Resources lists every resource the collector has seen events for, sorted.

@@ -45,6 +45,17 @@ const (
 	// EventRecovery marks a site completing its local §6 recovery step for
 	// a failed peer (quorum rebuilt around the crash).
 	EventRecovery
+	// EventRetransmit marks the reliable-delivery sublayer re-sending an
+	// unacknowledged envelope. Transport-level: it never counts toward the
+	// protocol's per-CS message accounting.
+	EventRetransmit
+	// EventDupDrop marks the receiver suppressing an already-delivered
+	// (duplicate) envelope. Transport-level.
+	EventDupDrop
+	// EventAckSend marks a standalone cumulative acknowledgement leaving a
+	// site after an idle flush (piggybacked acks are not reported).
+	// Transport-level.
+	EventAckSend
 )
 
 // String returns the event type's stable name.
@@ -62,6 +73,12 @@ func (t EventType) String() string {
 		return "failure"
 	case EventRecovery:
 		return "recovery"
+	case EventRetransmit:
+		return "retransmit"
+	case EventDupDrop:
+		return "dup-drop"
+	case EventAckSend:
+		return "ack"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/gob"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -17,6 +18,11 @@ type heartbeatMsg struct {
 
 // Kind implements mutex.Message.
 func (heartbeatMsg) Kind() string { return "heartbeat" }
+
+// transportMessage marks heartbeats as transport-level for the reliability
+// sublayer: probes travel unsequenced and are never retransmitted (a probe
+// is a question about now; re-asking it later is a new probe).
+func (heartbeatMsg) transportMessage() {}
 
 // RegisterGobMessages registers the transport's own wire messages. TCP
 // deployments using the failure detector must call it (in addition to the
@@ -47,6 +53,11 @@ func (c *Cluster) killSite(id mutex.SiteID, detectAfter time.Duration, stopC <-c
 	}
 	if f := c.fabric; f != nil {
 		f.MarkCrashed(id)
+	}
+	if r := c.rel; r != nil {
+		// §6 composition: tear down the crashed site's streams so pending
+		// retransmissions at the corpse stop immediately.
+		r.PeerFailed(id)
 	}
 	victim.Close()
 	if detectAfter > 0 {
@@ -136,13 +147,26 @@ func (d *Detector) Dead() []mutex.SiteID {
 
 func (d *Detector) run() {
 	defer close(d.doneC)
-	ticker := time.NewTicker(d.interval)
-	defer ticker.Stop()
+	// A jittered timer instead of a fixed ticker: N peers sharing an
+	// interval would otherwise probe (and time each other out) in lockstep.
+	timer := time.NewTimer(d.jittered())
+	defer timer.Stop()
 	self := d.peer.node.ID()
 	for {
 		select {
-		case <-ticker.C:
+		case <-timer.C:
+			timer.Reset(d.jittered())
+			// Probe only peers not yet declared dead: heartbeating a corpse
+			// just churns the outbound reconnect backoff forever.
+			d.mu.Lock()
+			targets := make([]mutex.SiteID, 0, len(d.peer.peers))
 			for id := range d.peer.peers {
+				if !d.declared[id] {
+					targets = append(targets, id)
+				}
+			}
+			d.mu.Unlock()
+			for _, id := range targets {
 				// Best effort: an unreachable peer shows up as silence.
 				_ = d.peer.Send(mutex.Envelope{From: self, To: id, Msg: heartbeatMsg{From: self}})
 			}
@@ -165,4 +189,10 @@ func (d *Detector) run() {
 			return
 		}
 	}
+}
+
+// jittered spreads the probe period ±10% around the configured interval.
+func (d *Detector) jittered() time.Duration {
+	spread := 0.9 + 0.2*rand.Float64()
+	return time.Duration(float64(d.interval) * spread)
 }

@@ -36,6 +36,16 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		wireEnvelope{From: 0, To: 1, Msg: heartbeatMsg{From: 0}},
 		wireEnvelope{From: 1, To: 0, Msg: mutex.FailureMsg{Failed: 2}},
 	)
+	// Sequenced frames as the reliable-delivery sublayer emits them: a
+	// payload with seq/ack metadata, and a standalone cumulative ack (no
+	// payload at all).
+	encode(wireEnvelope{Resource: "orders", From: 2, To: 4, Msg: mutex.FailureMsg{Failed: 1}, Seq: 7, Ack: 3})
+	encode(wireEnvelope{From: 4, To: 2, Ack: 9})
+	encode(
+		wireEnvelope{From: 0, To: 1, Msg: mutex.FailureMsg{Failed: 3}, Seq: 1},
+		wireEnvelope{From: 1, To: 0, Ack: 1},
+		wireEnvelope{From: 0, To: 1, Msg: mutex.FailureMsg{Failed: 3}, Seq: 2, Ack: 5},
+	)
 	return seeds
 }
 
@@ -59,6 +69,44 @@ func FuzzEnvelopeDecode(f *testing.F) {
 			if _, err := decodeWireEnvelope(dec); err != nil {
 				break
 			}
+		}
+	})
+}
+
+// FuzzAckFrameDecode goes one layer deeper than FuzzEnvelopeDecode: frames
+// that do decode are fed through a live reliable-delivery endpoint, so
+// adversarial Seq/Ack values (huge acks, duplicate seqs, gaps, ack-only
+// frames with garbage metadata) must neither panic the sublayer nor wedge
+// its bookkeeping.
+func FuzzAckFrameDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel := newReliable(func(env mutex.Envelope) error { return nil }, nil)
+		rel.start(senderFunc(func(env mutex.Envelope) error { return nil }))
+		defer rel.Close()
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 8; i++ {
+			we, err := decodeWireEnvelope(dec)
+			if err != nil {
+				break
+			}
+			if err := rel.Receive(mutex.Envelope{
+				Resource: we.Resource,
+				From:     we.From,
+				To:       we.To,
+				Msg:      we.Msg,
+				Seq:      we.Seq,
+				Ack:      we.Ack,
+			}); err != nil {
+				break
+			}
+		}
+		// The endpoint must remain usable after hostile input.
+		if err := rel.Send(mutex.Envelope{From: 100, To: 101, Msg: mutex.FailureMsg{Failed: 1}}); err != nil {
+			t.Fatalf("endpoint wedged after fuzzed input: %v", err)
 		}
 	})
 }

@@ -50,6 +50,28 @@ func (s inprocSender) SendBatch(envs []mutex.Envelope) error {
 	return firstErr
 }
 
+// relWire is the perfect in-process wire under the reliability layer: the
+// sender's goroutine hands each envelope straight to the layer's receive
+// side, which routes it into the destination mailbox. The layer's lock is
+// never held across this hop, so the inline re-entry cannot deadlock.
+type relWire struct {
+	rel *reliable
+}
+
+// Send implements Sender.
+func (w relWire) Send(env mutex.Envelope) error { return w.rel.Receive(env) }
+
+// SendBatch implements BatchSender.
+func (w relWire) SendBatch(envs []mutex.Envelope) error {
+	var firstErr error
+	for _, env := range envs {
+		if err := w.rel.Receive(env); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // ClusterConfig configures an in-process cluster.
 type ClusterConfig struct {
 	// Algorithm builds the per-resource site machines.
@@ -67,8 +89,15 @@ type ClusterConfig struct {
 	// between every node and the in-process mailboxes: message drop,
 	// duplication, reordering, bounded delay, and partitions per the plan,
 	// plus scheduled site crashes executed through the §6 failure path.
+	// The reliable-delivery sublayer sits above the fabric, so drop-only
+	// plans merely delay the protocol instead of stalling it.
 	// In-process clusters only.
 	Chaos *chaos.Plan
+	// unreliable bypasses the reliable-delivery sublayer, wiring nodes
+	// straight to the mailboxes (or the chaos fabric) as before it existed.
+	// Test-only: it lets the obs-accounting equivalence test compare message
+	// tallies with the layer on and off.
+	unreliable bool
 }
 
 // Cluster hosts every site of an algorithm in one process and multiplexes
@@ -85,6 +114,7 @@ type Cluster struct {
 	managers []*resource.Manager
 	nodes    []*Node // default-resource instances, cached for Node(id)
 
+	rel       *reliable     // the reliable-delivery sublayer; nil only in test bypass mode
 	fabric    *chaos.Fabric // nil unless chaos injection was requested
 	chaosStop chan struct{}
 	chaosWG   sync.WaitGroup
@@ -129,11 +159,20 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("transport: build sites: %w", err)
 	}
 	c.siteSets[resource.Default] = defaultSites
+	// The delivery stack, bottom-up: inprocSender injects into mailboxes;
+	// the reliable sublayer's receive side feeds it; the wire under the
+	// sublayer is either the chaos fabric or a perfect inline loopback.
 	var sender BatchSender = inprocSender{cluster: c}
+	if !cfg.unreliable {
+		c.rel = newReliable(sender.Send, c.sink)
+	}
 	if cfg.Chaos != nil {
-		direct := sender
-		c.fabric = chaos.NewFabric(*cfg.Chaos, direct.Send)
-		sender = c.fabric
+		if c.rel != nil {
+			c.fabric = chaos.NewFabric(*cfg.Chaos, c.rel.Receive)
+		} else {
+			direct := sender
+			c.fabric = chaos.NewFabric(*cfg.Chaos, direct.Send)
+		}
 		c.chaosStop = make(chan struct{})
 		for _, cr := range cfg.Chaos.Crashes {
 			cr := cr
@@ -149,6 +188,16 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 				}
 			}()
 		}
+	}
+	switch {
+	case c.rel != nil && c.fabric != nil:
+		c.rel.start(c.fabric)
+		sender = c.rel
+	case c.rel != nil:
+		c.rel.start(relWire{rel: c.rel})
+		sender = c.rel
+	case c.fabric != nil:
+		sender = c.fabric
 	}
 	for i := 0; i < cfg.N; i++ {
 		id := mutex.SiteID(i)
@@ -252,9 +301,24 @@ func (c *Cluster) Node(id mutex.SiteID) *Node {
 func (c *Cluster) N() int { return c.n }
 
 // Chaos returns the cluster's fault-injecting fabric, or nil when the
-// cluster was built without a chaos plan. Conformance harnesses use it to
-// install a delivery hook.
+// cluster was built without a chaos plan.
 func (c *Cluster) Chaos() *chaos.Fabric { return c.fabric }
+
+// SetDeliveryHook installs an observer of exactly-once envelope deliveries —
+// the conformance checker's view of the wire. The hook fires once per
+// sequenced envelope after the reliability layer's dedup and reordering, so
+// retransmitted and duplicated copies never double-count; on a cluster built
+// without the layer (test bypass) it falls back to the chaos fabric's raw
+// deliveries. Install it before traffic starts.
+func (c *Cluster) SetDeliveryHook(hook func(env mutex.Envelope, dup bool)) {
+	if c.rel != nil {
+		c.rel.setDeliveryHook(hook)
+		return
+	}
+	if c.fabric != nil {
+		c.fabric.SetDeliveryHook(hook)
+	}
+}
 
 // DumpState renders the protocol state of every instantiated resource node
 // in the cluster, one line per (site, resource). Each line is produced on
@@ -288,7 +352,9 @@ func (c *Cluster) manager(id mutex.SiteID) *resource.Manager {
 }
 
 // Close stops every instance of every resource and waits for their loops to
-// exit, then tears down the chaos layer if one was installed.
+// exit, then tears down the reliability and chaos layers. The order matters:
+// the reliability loop may still hand retransmissions to the fabric, so it
+// stops before the fabric does.
 func (c *Cluster) Close() {
 	if c.chaosStop != nil {
 		close(c.chaosStop)
@@ -299,6 +365,9 @@ func (c *Cluster) Close() {
 		if mgr != nil {
 			mgr.Close()
 		}
+	}
+	if c.rel != nil {
+		c.rel.Close()
 	}
 	if c.fabric != nil {
 		c.fabric.Close()

@@ -56,7 +56,8 @@ type TCPConfig struct {
 type TCPPeer struct {
 	self     mutex.SiteID
 	manager  *resource.Manager
-	node     *Node // default-resource instance, kept for the legacy Node API
+	node     *Node     // default-resource instance, kept for the legacy Node API
+	rel      *reliable // the reliable-delivery sublayer over the raw writers
 	listener net.Listener
 	peers    map[mutex.SiteID]string
 	metrics  *obs.Metrics // nil unless metrics collection was requested
@@ -64,7 +65,8 @@ type TCPPeer struct {
 	mu      sync.Mutex
 	outs    map[mutex.SiteID]*outbound
 	inbound map[net.Conn]bool
-	hbSink  *Detector // set by StartDetector; receives heartbeat traffic
+	hbSink  *Detector                  // set by StartDetector; receives heartbeat traffic
+	dropOut func(we wireEnvelope) bool // test hook: writer-side deterministic frame drops
 
 	stopOnce sync.Once
 	stopC    chan struct{}
@@ -127,6 +129,10 @@ func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
 	if cfg.Metrics != nil {
 		combined = obs.Tee(cfg.Metrics.Observe, cfg.Observer)
 	}
+	// The reliability sublayer sits between the node loops and the raw
+	// per-destination writers: its receive side is fed by the read loops and
+	// hands exactly-once, per-stream-FIFO envelopes to dispatch.
+	p.rel = newReliable(p.dispatch, combined)
 	p.manager = resource.NewManager(resource.Config{
 		Policy: cfg.Policy,
 		New: func(name string) (resource.Instance, error) {
@@ -144,6 +150,7 @@ func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
 		return nil, err
 	}
 	p.node = inst.(*Node)
+	p.rel.start(tcpWire{peer: p})
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -184,23 +191,44 @@ func (p *TCPPeer) Node() *Node { return p.node }
 func (p *TCPPeer) Addr() string { return p.listener.Addr().String() }
 
 // wireEnvelope is the on-the-wire representation. Resource scopes the
-// envelope to one named lock; gob omits the field when it is the zero-valued
-// default resource, so single-lock traffic is byte-compatible with the
-// pre-resource wire format in both directions.
+// envelope to one named lock; Seq and Ack carry the reliability sublayer's
+// stream position and cumulative acknowledgement. gob omits every
+// zero-valued field, so single-lock unsequenced traffic is byte-compatible
+// with the pre-resource wire format in both directions (an old peer decodes
+// sequenced frames too — it just never acks them, which is why mixed
+// deployments are unsupported for protocol traffic; see PROTOCOL.md).
 type wireEnvelope struct {
 	Resource string
 	From     mutex.SiteID
 	To       mutex.SiteID
 	Msg      mutex.Message
+	Seq      uint64
+	Ack      uint64
 }
 
-// Send implements Sender: the envelope is queued on the destination's
-// outbound writer and written asynchronously (the protocol's reliable-
-// channel model — delivery failures beyond the reconnect budget are the
-// failure detector's to report). An error means the destination is unknown
-// or the peer is shut down.
+// Send implements Sender: the envelope passes through the reliability
+// sublayer (sequencing, retransmission) and is queued on the destination's
+// outbound writer. An error means the destination is unknown or the peer is
+// shut down.
 func (p *TCPPeer) Send(env mutex.Envelope) error {
-	o, err := p.outboundFor(env.To)
+	return p.rel.Send(env)
+}
+
+// SendBatch implements BatchSender: consecutive same-destination runs are
+// queued in one operation and leave in one buffered write.
+func (p *TCPPeer) SendBatch(envs []mutex.Envelope) error {
+	return p.rel.SendBatch(envs)
+}
+
+// tcpWire is the raw sender under the reliability sublayer: already-stamped
+// envelopes go straight to the per-destination writers.
+type tcpWire struct {
+	peer *TCPPeer
+}
+
+// Send implements Sender.
+func (w tcpWire) Send(env mutex.Envelope) error {
+	o, err := w.peer.outboundFor(env.To)
 	if err != nil {
 		return err
 	}
@@ -208,16 +236,15 @@ func (p *TCPPeer) Send(env mutex.Envelope) error {
 	return nil
 }
 
-// SendBatch implements BatchSender: consecutive same-destination runs are
-// queued in one operation and leave in one buffered write.
-func (p *TCPPeer) SendBatch(envs []mutex.Envelope) error {
+// SendBatch implements BatchSender.
+func (w tcpWire) SendBatch(envs []mutex.Envelope) error {
 	var firstErr error
 	for start := 0; start < len(envs); {
 		end := start + 1
 		for end < len(envs) && envs[end].To == envs[start].To {
 			end++
 		}
-		o, err := p.outboundFor(envs[start].To)
+		o, err := w.peer.outboundFor(envs[start].To)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -279,7 +306,10 @@ type outbound struct {
 func (o *outbound) enqueue(envs []mutex.Envelope) {
 	o.mu.Lock()
 	for _, env := range envs {
-		o.queue = append(o.queue, wireEnvelope{Resource: env.Resource, From: env.From, To: env.To, Msg: env.Msg})
+		o.queue = append(o.queue, wireEnvelope{
+			Resource: env.Resource, From: env.From, To: env.To,
+			Msg: env.Msg, Seq: env.Seq, Ack: env.Ack,
+		})
 	}
 	o.mu.Unlock()
 	select {
@@ -314,14 +344,21 @@ func (o *outbound) run() {
 
 // write delivers one batch, reconnecting once mid-batch on a broken pipe.
 // A batch that cannot be delivered within the reconnect budget is dropped:
-// the peer is gone, which the failure protocol handles.
+// the reliability sublayer retransmits sequenced traffic, and a peer gone
+// for good is the failure protocol's to report.
 func (o *outbound) write(batch []wireEnvelope) {
+	o.peer.mu.Lock()
+	drop := o.peer.dropOut
+	o.peer.mu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
 		if !o.ensureConn() {
 			return
 		}
 		ok := true
 		for _, we := range batch {
+			if drop != nil && drop(we) {
+				continue // test hook: simulate wire loss at the writer
+			}
 			if err := o.enc.Encode(we); err != nil {
 				ok = false
 				break
@@ -446,24 +483,52 @@ func (p *TCPPeer) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if hb, ok := we.Msg.(heartbeatMsg); ok {
-			p.mu.Lock()
-			sink := p.hbSink
-			p.mu.Unlock()
-			if sink != nil {
-				sink.observe(hb.From)
-			}
-			continue
-		}
-		// Route to the resource's instance, instantiating it lazily; an
-		// envelope for a name this peer cannot build is dropped.
-		_ = p.manager.Inject(mutex.Envelope{Resource: we.Resource, From: we.From, To: we.To, Msg: we.Msg})
+		// Everything funnels through the reliability sublayer: it consumes
+		// acks, suppresses duplicates, reorders sequenced traffic, and hands
+		// exactly-once deliveries to dispatch.
+		_ = p.rel.Receive(mutex.Envelope{
+			Resource: we.Resource, From: we.From, To: we.To,
+			Msg: we.Msg, Seq: we.Seq, Ack: we.Ack,
+		})
 	}
 }
 
+// dispatch consumes one exactly-once, in-order envelope from the reliability
+// sublayer: heartbeats feed the failure detector, ack-only frames are
+// already fully consumed, and protocol traffic routes to the resource's
+// instance (instantiated lazily; an envelope for a name this peer cannot
+// build is dropped).
+func (p *TCPPeer) dispatch(env mutex.Envelope) error {
+	if hb, ok := env.Msg.(heartbeatMsg); ok {
+		p.mu.Lock()
+		sink := p.hbSink
+		p.mu.Unlock()
+		if sink != nil {
+			sink.observe(hb.From)
+		}
+		return nil
+	}
+	if env.Msg == nil {
+		return nil
+	}
+	return p.manager.Inject(env)
+}
+
+// setDropHook installs a writer-side frame filter (return true to drop the
+// frame before it reaches the wire). Test-only: it simulates deterministic
+// message loss so the reliability sublayer's recovery is assertable over
+// real connections.
+func (p *TCPPeer) setDropHook(drop func(we wireEnvelope) bool) {
+	p.mu.Lock()
+	p.dropOut = drop
+	p.mu.Unlock()
+}
+
 // injectFailure announces a crashed site to every instantiated resource, so
-// each lock's §6 recovery rebuilds its quorums.
+// each lock's §6 recovery rebuilds its quorums. The reliability sublayer
+// resets its streams first: retransmission at the dead peer stops.
 func (p *TCPPeer) injectFailure(failed mutex.SiteID) {
+	p.rel.PeerFailed(failed)
 	p.manager.Each(func(name string, inst resource.Instance) {
 		inst.Inject(mutex.Envelope{Resource: name, From: p.self, To: p.self, Msg: mutex.FailureMsg{Failed: failed}})
 	})
@@ -481,6 +546,7 @@ func (p *TCPPeer) setHeartbeatSink(d *Detector) {
 func (p *TCPPeer) Close() {
 	p.stopOnce.Do(func() { close(p.stopC) })
 	p.manager.Close()
+	p.rel.Close()
 	_ = p.listener.Close()
 	p.mu.Lock()
 	outs := make([]*outbound, 0, len(p.outs))
