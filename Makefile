@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos soak fuzz bench tables fmt
+.PHONY: check vet build test race chaos soak fuzz bench bench-smoke bench-sim tables fmt
 
 # The standard gate: what CI and pre-commit should run. race already runs
 # the full seeded conformance sweep (internal/chaos/sweep) under -race;
-# chaos adds the short fuzz smoke on top.
-check: vet build race chaos
+# chaos adds the short fuzz smoke on top, bench-smoke the seconds-long live
+# benchmark conformance check (T-vs-2T A/B on both fabrics).
+check: vet build race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,8 +39,21 @@ fuzz:
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 5m ./internal/transport
 	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 5m ./internal/transport
 
-# Regenerate the paper's evaluation (slow).
+# Live-cluster benchmark sweep: real deployments (in-process and loopback
+# TCP) under the loadgen lab, including the transfer-vs-2T-fallback A/B.
+# Writes BENCH_live_*.json artifacts (schema dqmx/bench-live/v1) into the
+# repo root; see EXPERIMENTS.md "Live benchmarks".
 bench:
+	$(GO) run ./cmd/dqmbench -n 9,25 -quorum grid,tree -driver inproc,tcp -measure 2s -name sweep
+	$(GO) run ./cmd/dqmbench -ab -n 9 -quorum grid -driver inproc,tcp -measure 2s -name handoff-ab
+
+# Seconds-long deterministic live-benchmark smoke: the handoff A/B ratio
+# test on both fabrics plus the artifact schema round-trip. Part of check.
+bench-smoke:
+	$(GO) test -run 'TestLiveHandoffAB|TestBenchSmoke' -count=1 -timeout 120s ./internal/loadgen
+
+# Regenerate the paper's simulated evaluation (slow).
+bench-sim:
 	$(GO) test -bench=. -benchmem ./...
 
 tables:

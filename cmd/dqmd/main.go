@@ -240,8 +240,9 @@ func fmtDelay(d dqmx.DelayStats) string {
 	if d.Count == 0 {
 		return "no samples"
 	}
-	return fmt.Sprintf("n=%d mean=%v p99=%v",
-		d.Count, time.Duration(d.Mean), time.Duration(d.P99))
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
+		d.Count, time.Duration(d.Mean), time.Duration(d.P50),
+		time.Duration(d.P95), time.Duration(d.P99))
 }
 
 func runDemo(peer *dqmx.TCPPeer, id, rounds int, lockName string) error {

@@ -33,6 +33,7 @@ package dqmx
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dqmx/internal/chaos"
 	"dqmx/internal/core"
@@ -211,6 +212,12 @@ type Options struct {
 	// DisableRecovery turns off the §6 failure recovery of the
 	// delay-optimal protocol.
 	DisableRecovery bool
+	// DisableTransfer forces the delay-optimal protocol onto the release
+	// fallback handover path (synchronization delay 2T instead of T) by
+	// suppressing the transfer mechanism. It exists for the live
+	// benchmarking lab's A/B of the paper's delay-optimality claim; other
+	// protocols reject it.
+	DisableTransfer bool
 	// Observer, when non-nil, receives every protocol event. It applies to
 	// clusters (NewClusterWith, NewTCPNode) and simulations (Simulate,
 	// SimulateWithCrashes).
@@ -229,6 +236,13 @@ type Options struct {
 	// an in-process cluster (NewClusterWith only — TCP deployments and
 	// simulations reject it; the simulator has its own fault machinery).
 	Chaos *ChaosPlan
+	// LinkDelay, when positive, holds every outbound batch of a TCP peer
+	// for that long before it reaches the wire — a deterministic per-hop
+	// latency for benchmarking on loopback, where real network delay is too
+	// small to separate a T handover from a 2T one (NewTCPNode only;
+	// in-process clusters model delay through Chaos, simulations through
+	// their delay distribution).
+	LinkDelay time.Duration
 }
 
 // Validate checks that the options name a known protocol and quorum
@@ -253,7 +267,10 @@ func (o Options) algorithm() (mutex.Algorithm, error) {
 	if err != nil {
 		return nil, err
 	}
-	alg, err := harness.NewAlgorithm(string(o.Protocol), cons, o.DisableRecovery)
+	alg, err := harness.NewAlgorithmOpts(string(o.Protocol), cons, harness.AlgorithmOptions{
+		DisableRecovery: o.DisableRecovery,
+		DisableTransfer: o.DisableTransfer,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dqmx: %w", err)
 	}
@@ -274,6 +291,9 @@ func NewCluster(n int) (*Cluster, error) {
 
 // NewClusterWith starts an in-process cluster with explicit options.
 func NewClusterWith(n int, opts Options) (*Cluster, error) {
+	if opts.LinkDelay != 0 {
+		return nil, errors.New("dqmx: LinkDelay applies to TCP peers only; use Chaos delay on in-process clusters")
+	}
 	alg, err := opts.algorithm()
 	if err != nil {
 		return nil, err
@@ -393,6 +413,7 @@ func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 		Metrics:    opts.collector(),
 		Observer:   opts.Observer,
 		Policy:     opts.Resources,
+		LinkDelay:  opts.LinkDelay,
 	})
 }
 

@@ -28,6 +28,12 @@ type Algorithm struct {
 	// the per-CS message count rises — the ablation quantifying §5's
 	// piggybacking accounting.
 	DisablePiggyback bool
+	// DisableTransfer suppresses the transfer mechanism entirely: arbiters
+	// never tell the holder about waiting requests, so every handover takes
+	// the release → grant path (the paper's 2T baseline, Maekawa's delay).
+	// Inquire/yield preemption still runs, so priority order is preserved.
+	// This is the live A/B control arm for the delay-optimality claim.
+	DisableTransfer bool
 }
 
 var _ mutex.Algorithm = Algorithm{}
@@ -66,6 +72,9 @@ func (a Algorithm) NewSites(n int) ([]mutex.Site, error) {
 		}
 		if a.DisablePiggyback {
 			site.piggyback = false
+		}
+		if a.DisableTransfer {
+			site.disableTransfer = true
 		}
 		sites[i] = site
 	}

@@ -95,6 +95,12 @@ type Site struct {
 	// piggybacking saves.
 	piggyback bool
 
+	// disableTransfer suppresses the transfer mechanism: ensureHandoff and
+	// grantNext never announce the next waiter to the holder, so the holder's
+	// tran_stack stays empty and every handover takes the release → grant
+	// 2T fallback. The control arm of the synchronization-delay A/B.
+	disableTransfer bool
+
 	// earlyReleases buffers releases that arrive before this arbiter has
 	// learned (via the previous holder's forwarding release) that the sender
 	// holds the lock. A proxied reply lets the next site acquire, execute,
@@ -284,8 +290,18 @@ func (s *Site) ensureHandoff(out *mutex.Output) {
 		return
 	}
 	head := s.queue.Head()
-	needTransfer := head != s.lastTransfer
 	needInquire := head.Less(s.lock) && !s.inquired
+	if s.disableTransfer {
+		// Preemption must still work — a higher-priority waiter recalls the
+		// permission via inquire/yield — but the holder is never told whom to
+		// forward to, so the handover itself waits for the release.
+		if needInquire {
+			out.SendTo(s.id, s.lock.Site, inquireMsg{Arbiter: s.id, HolderTS: s.lock})
+			s.inquired = true
+		}
+		return
+	}
+	needTransfer := head != s.lastTransfer
 	switch {
 	case needTransfer:
 		s.lastTransfer = head
@@ -334,7 +350,7 @@ func (s *Site) grantNext(out *mutex.Output) {
 	}
 	reply := replyMsg{Arbiter: s.id, ReqTS: grant}
 	var follow *transferMsg
-	if !s.queue.Empty() {
+	if !s.queue.Empty() && !s.disableTransfer {
 		head := s.queue.Head()
 		ti := transferInfo{Arbiter: s.id, TargetTS: head}
 		if s.piggyback {

@@ -148,6 +148,41 @@ func TestLiteralTransferHandling(t *testing.T) {
 	}
 }
 
+// TestDisableTransfer: with the transfer mechanism suppressed the protocol
+// stays safe and live, sends no transfer messages at all, and pays the 2T
+// release-fallback on every handover — so its synchronization delay must be
+// clearly worse than the delay-optimal configuration's. This is the
+// simulated sanity check behind the live A/B in internal/loadgen.
+func TestDisableTransfer(t *testing.T) {
+	run := func(disable bool) (sim.Result, map[string]uint64) {
+		c, err := sim.NewCluster(sim.Config{
+			N:         25,
+			Algorithm: core.Algorithm{DisableTransfer: disable},
+			Delay:     sim.ConstantDelay{D: 1000},
+			Seed:      5,
+			CSTime:    10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.Saturated(c, 8)
+		c.Run(0)
+		if err := c.Err(); err != nil {
+			t.Fatalf("disable=%v: %v", disable, err)
+		}
+		return c.Summarize(), c.Net.CountByKind()
+	}
+	with, _ := run(false)
+	without, kinds := run(true)
+	if kinds["transfer"] != 0 {
+		t.Errorf("%d transfer messages sent with the mechanism disabled", kinds["transfer"])
+	}
+	if without.SyncDelay < 1.5*with.SyncDelay {
+		t.Errorf("fallback-only sync delay (%v T) should be ~2x the transfer path's (%v T)",
+			without.SyncDelay, with.SyncDelay)
+	}
+}
+
 // TestDisablePiggyback: without piggybacking the protocol stays safe and
 // live but spends strictly more messages per CS execution.
 func TestDisablePiggyback(t *testing.T) {

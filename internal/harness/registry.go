@@ -67,14 +67,41 @@ func NewConstruction(name string) (coterie.Construction, error) {
 		name, strings.Join(QuorumNames(), ", "))
 }
 
+// AlgorithmOptions carries the protocol knobs NewAlgorithmOpts applies.
+type AlgorithmOptions struct {
+	// DisableRecovery turns off the delay-optimal protocol's §6 fault
+	// tolerance.
+	DisableRecovery bool
+	// DisableTransfer forces the delay-optimal protocol onto the release
+	// fallback (2T) handover path — the live A/B control arm. Setting it
+	// for any other protocol is an error.
+	DisableTransfer bool
+}
+
 // NewAlgorithm resolves a protocol by name over the given coterie (ignored
 // by the non-quorum baselines). The empty string defaults to the paper's
 // delay-optimal protocol; disableRecovery turns off its §6 fault tolerance.
 // Unknown names error with the full list of valid choices.
 func NewAlgorithm(protocol string, cons coterie.Construction, disableRecovery bool) (mutex.Algorithm, error) {
+	return NewAlgorithmOpts(protocol, cons, AlgorithmOptions{DisableRecovery: disableRecovery})
+}
+
+// NewAlgorithmOpts is NewAlgorithm with the full option set.
+func NewAlgorithmOpts(protocol string, cons coterie.Construction, opts AlgorithmOptions) (mutex.Algorithm, error) {
+	if opts.DisableTransfer {
+		switch protocol {
+		case "", "delay-optimal":
+		default:
+			return nil, fmt.Errorf("protocol %q has no transfer mechanism to disable", protocol)
+		}
+	}
 	switch protocol {
 	case "", "delay-optimal":
-		return core.Algorithm{Construction: cons, DisableRecovery: disableRecovery}, nil
+		return core.Algorithm{
+			Construction:    cons,
+			DisableRecovery: opts.DisableRecovery,
+			DisableTransfer: opts.DisableTransfer,
+		}, nil
 	case "maekawa":
 		return maekawa.Algorithm{Construction: cons}, nil
 	case "lamport":

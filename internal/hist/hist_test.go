@@ -1,0 +1,197 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 || h.Quantile(0) != 0 || h.Quantile(1) != 0 {
+		t.Error("empty histogram quantiles should be zero")
+	}
+	if (h.Stats() != Summary{}) {
+		t.Errorf("empty stats = %+v", h.Stats())
+	}
+}
+
+func TestOneSample(t *testing.T) {
+	var h Histogram
+	h.Add(12345)
+	st := h.Stats()
+	// Every quantile of a one-sample histogram is the sample itself: the
+	// bucket upper bound clamps to the observed maximum.
+	if st.Min != 12345 || st.Max != 12345 ||
+		st.P50 != 12345 || st.P90 != 12345 || st.P95 != 12345 || st.P99 != 12345 {
+		t.Errorf("one-sample stats = %+v", st)
+	}
+	if st.Count != 1 || st.Mean != 12345 {
+		t.Errorf("one-sample count/mean = %d/%v", st.Count, st.Mean)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-7)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative sample: min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 16; v++ {
+		h.Add(v)
+	}
+	// Values below 16 are bucketed exactly, so quantiles are exact.
+	for rank := 1; rank <= 16; rank++ {
+		p := float64(rank) / 16
+		if got, want := h.Quantile(p), int64(rank-1); got != want {
+			t.Errorf("q(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// sortedQuantile is the reference: the rank-⌈p·n⌉ order statistic.
+func sortedQuantile(sorted []int64, p float64) int64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileVsSortedReference checks the histogram's error contract
+// against a sorted-sample reference over several sample shapes: for every
+// probed p, Quantile(p) must be ≥ the true order statistic and at most
+// 1/16 above it.
+func TestQuantileVsSortedReference(t *testing.T) {
+	shapes := map[string]func(r *rand.Rand) int64{
+		"uniform":     func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exponential": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 1_000_000 + r.Int63n(1000)
+			}
+			return 100 + r.Int63n(50)
+		},
+		"tiny": func(r *rand.Rand) int64 { return r.Int63n(20) },
+	}
+	probes := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}
+	for name, gen := range shapes {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			var h Histogram
+			samples := make([]int64, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				v := gen(r)
+				h.Add(v)
+				samples = append(samples, v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, p := range probes {
+				want := sortedQuantile(samples, p)
+				got := h.Quantile(p)
+				if got < want {
+					t.Errorf("q(%v) = %d below true quantile %d", p, got, want)
+				}
+				if limit := want + want/16; got > limit {
+					t.Errorf("q(%v) = %d exceeds %d (true %d + 1/16)", p, got, limit, want)
+				}
+			}
+			if h.Max() != samples[len(samples)-1] || h.Min() != samples[0] {
+				t.Errorf("min/max = %d/%d, want %d/%d", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+			}
+			var sum float64
+			for _, v := range samples {
+				sum += float64(v)
+			}
+			if want := sum / float64(len(samples)); math.Abs(h.Mean()-want) > 1e-6*want {
+				t.Errorf("mean = %v, want %v", h.Mean(), want)
+			}
+		})
+	}
+}
+
+// TestMergeEquivalence: recording a sample set split across two histograms
+// and merging must be indistinguishable from one histogram seeing all of it.
+func TestMergeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var whole, a, b Histogram
+	for i := 0; i < 4000; i++ {
+		v := int64(r.ExpFloat64() * 30_000)
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/min/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9*whole.Mean() {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		if a.Quantile(p) != whole.Quantile(p) {
+			t.Errorf("q(%v): merged %d, whole %d", p, a.Quantile(p), whole.Quantile(p))
+		}
+	}
+	// Merging an empty histogram is a no-op in both directions.
+	var empty Histogram
+	before := a.Stats()
+	a.Merge(&empty)
+	if a.Stats() != before {
+		t.Error("merging an empty histogram changed the stats")
+	}
+	empty.Merge(&a)
+	if empty.Stats() != a.Stats() {
+		t.Error("merging into an empty histogram lost samples")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Add(99)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("reset histogram should be empty")
+	}
+}
+
+// TestBucketEdges walks every representable bucket boundary and checks the
+// index/upper-edge round trip: a value's bucket upper edge is ≥ the value
+// and within 1/16 of it.
+func TestBucketEdges(t *testing.T) {
+	values := []int64{0, 1, 15, 16, 17, 31, 32, 63, 64, 1023, 1024, 1025,
+		1<<20 - 1, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		idx := bucketIndex(v)
+		up := bucketUpper(idx)
+		if up < v {
+			t.Errorf("value %d: upper edge %d below value", v, up)
+		}
+		if v >= 16 && up-v > v/16 {
+			t.Errorf("value %d: upper edge %d exceeds 1/16 bound", v, up)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	b.ReportAllocs()
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Add(int64(i) * 1001)
+	}
+}

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_live artifact format. Consumers must
+// check it before parsing: fields are only added within a major version.
+//
+// Schema (dqmx/bench-live/v1):
+//
+//	{
+//	  "schema":     "dqmx/bench-live/v1",
+//	  "name":       string,          // experiment name, e.g. "handoff-ab"
+//	  "created_at": RFC3339 string,
+//	  "runs":       [Report, ...]    // see Report's json tags; delay
+//	                                 // distributions are {count, mean, min,
+//	                                 // max, p50, p90, p95, p99} in ns
+//	}
+const SchemaVersion = "dqmx/bench-live/v1"
+
+// Artifact is the machine-readable result of a benchmark invocation.
+type Artifact struct {
+	Schema    string    `json:"schema"`
+	Name      string    `json:"name"`
+	CreatedAt time.Time `json:"created_at"`
+	Runs      []*Report `json:"runs"`
+}
+
+// NewArtifact wraps a set of run reports under the current schema version.
+func NewArtifact(name string, runs []*Report) *Artifact {
+	return &Artifact{
+		Schema:    SchemaVersion,
+		Name:      name,
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+		Runs:      runs,
+	}
+}
+
+// Write stores the artifact as BENCH_live_<name>.json in dir, creating the
+// directory if needed, and returns the full path. The write is atomic
+// (temp file + rename), so a reader never sees a torn artifact.
+func (a *Artifact) Write(dir string) (string, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("loadgen: marshal artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("loadgen: write artifact: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_live_"+a.Name+".json")
+	tmp, err := os.CreateTemp(dir, ".bench-live-*")
+	if err != nil {
+		return "", fmt.Errorf("loadgen: write artifact: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return "", fmt.Errorf("loadgen: write artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return "", fmt.Errorf("loadgen: write artifact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return "", fmt.Errorf("loadgen: write artifact: %w", err)
+	}
+	return path, nil
+}
+
+// ReadArtifact loads and schema-checks one artifact file.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: read artifact: %w", err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("loadgen: parse artifact %s: %w", path, err)
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("loadgen: artifact %s has schema %q, want %q",
+			path, a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+
+	"dqmx"
+	"dqmx/internal/obs"
+)
+
+// Driver names for Config.Driver.
+const (
+	// DriverInproc runs all N sites in this process over the in-process
+	// fabric, optionally under a chaos plan.
+	DriverInproc = "inproc"
+	// DriverTCP runs all N sites in this process as real TCP peers over
+	// loopback — gob encoding, per-destination writers, the reliability
+	// sublayer — with Config.HopDelay as the transport's LinkDelay.
+	DriverTCP = "tcp"
+)
+
+// driver abstracts the two fabrics behind the one operation the workers
+// need: a site's handle for a named lock. Handles are canonical per
+// (site, name), so the runner caches them up front and the hot path never
+// touches the driver.
+type driver interface {
+	lock(site int, name string) (*dqmx.Lock, error)
+	close()
+}
+
+// newDriver boots the fabric for a validated config, wiring the given sink
+// into every site's event stream. The sink receives one coherent stream in
+// both cases: the TCP peers share this process's monotonic epoch, so their
+// event timestamps are comparable.
+func newDriver(cfg Config, sink obs.Sink) (driver, error) {
+	opts := dqmx.Options{
+		Protocol:        dqmx.Protocol(cfg.Protocol),
+		Quorum:          dqmx.Quorum(cfg.Quorum),
+		DisableTransfer: cfg.DisableTransfer,
+		Observer:        sink,
+	}
+	switch cfg.Driver {
+	case DriverInproc:
+		if cfg.Chaos != nil || cfg.HopDelay > 0 {
+			plan := dqmx.ChaosPlan{Seed: cfg.Seed}
+			if cfg.Chaos != nil {
+				plan.Drop = cfg.Chaos.Drop
+				plan.Duplicate = cfg.Chaos.Duplicate
+				plan.Reorder = cfg.Chaos.Reorder
+				plan.MinDelay = cfg.Chaos.MinDelay
+				plan.MaxDelay = cfg.Chaos.MaxDelay
+			}
+			if cfg.HopDelay > 0 {
+				plan.MinDelay = cfg.HopDelay
+				plan.MaxDelay = cfg.HopDelay
+			}
+			opts.Chaos = &plan
+		}
+		c, err := dqmx.NewClusterWith(cfg.N, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &inprocDriver{cluster: c}, nil
+	case DriverTCP:
+		opts.LinkDelay = cfg.HopDelay
+		return newTCPDriver(cfg.N, opts)
+	}
+	return nil, fmt.Errorf("loadgen: unknown driver %q", cfg.Driver)
+}
+
+// inprocDriver wraps the in-process cluster.
+type inprocDriver struct {
+	cluster *dqmx.Cluster
+}
+
+func (d *inprocDriver) lock(site int, name string) (*dqmx.Lock, error) {
+	return d.cluster.LockOn(dqmx.SiteID(site), name)
+}
+
+func (d *inprocDriver) close() { d.cluster.Close() }
+
+// tcpDriver hosts all N sites as TCP peers on loopback. Addresses are
+// reserved first with throwaway listeners so every peer can be born with
+// the full address book; connections are then dialed lazily on first send.
+type tcpDriver struct {
+	peers []*dqmx.TCPPeer
+}
+
+func newTCPDriver(n int, opts dqmx.Options) (*tcpDriver, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				_ = l.Close()
+			}
+			return nil, fmt.Errorf("loadgen: reserve address: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	d := &tcpDriver{peers: make([]*dqmx.TCPPeer, n)}
+	for i := 0; i < n; i++ {
+		book := make(map[dqmx.SiteID]string, n-1)
+		for j, a := range addrs {
+			if j != i {
+				book[dqmx.SiteID(j)] = a
+			}
+		}
+		p, err := dqmx.NewTCPNode(n, dqmx.SiteID(i), addrs[i], book, opts)
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("loadgen: start peer %d: %w", i, err)
+		}
+		d.peers[i] = p
+	}
+	return d, nil
+}
+
+func (d *tcpDriver) lock(site int, name string) (*dqmx.Lock, error) {
+	if site < 0 || site >= len(d.peers) {
+		return nil, fmt.Errorf("loadgen: site %d out of range", site)
+	}
+	return d.peers[site].Lock(name)
+}
+
+func (d *tcpDriver) close() {
+	for _, p := range d.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package loadgen
+
+// Live-cluster smoke tests: these run real protocol deployments for a
+// couple of seconds each and back the Makefile's bench-smoke target. The
+// A/B thresholds are deliberately loose — the deterministic per-hop delay
+// puts the transfer arm at ~d and the fallback arm at ~2d, so a ratio
+// floor of 1.3 leaves a 50%+ noise margin on an expected 2.0.
+
+import (
+	"testing"
+	"time"
+)
+
+// abConfig is a saturated single-resource closed loop: every handover has
+// a waiting next holder, which is exactly the regime where transfer (T)
+// versus release-fallback (2T) is visible.
+func abConfig(driver string, n int, quorum string, hop time.Duration) Config {
+	return Config{
+		Driver:   driver,
+		N:        n,
+		Quorum:   quorum,
+		Arrival:  ArrivalClosed,
+		Hold:     500 * time.Microsecond,
+		HopDelay: hop,
+		Warmup:   250 * time.Millisecond,
+		Measure:  900 * time.Millisecond,
+		Seed:     42,
+	}
+}
+
+func checkAB(t *testing.T, ab *ABResult) {
+	t.Helper()
+	for name, rep := range map[string]*Report{"transfer": ab.Transfer, "fallback": ab.Fallback} {
+		if rep.Ops == 0 || rep.Throughput <= 0 {
+			t.Fatalf("%s arm did no work: %+v", name, rep)
+		}
+		if rep.Handoff.Count < 5 {
+			t.Fatalf("%s arm saw only %d handovers; the window is too small to compare",
+				name, rep.Handoff.Count)
+		}
+		if rep.Acquire.Count == 0 || rep.Acquire.P50 <= 0 {
+			t.Fatalf("%s arm recorded no client latency: %+v", name, rep.Acquire)
+		}
+	}
+	if ab.Fallback.ByKind["transfer"] != 0 {
+		t.Errorf("fallback arm sent %d transfer messages", ab.Fallback.ByKind["transfer"])
+	}
+	if ab.Transfer.ByKind["transfer"] == 0 {
+		t.Error("transfer arm sent no transfer messages; the A/B is not exercising the mechanism")
+	}
+	ratio := ab.HandoffRatio()
+	t.Logf("handoff p50: transfer=%v fallback=%v ratio=%.2f (expect ~2.0)",
+		time.Duration(ab.Transfer.Handoff.P50), time.Duration(ab.Fallback.Handoff.P50), ratio)
+	if ratio < 1.3 {
+		t.Errorf("fallback/transfer handoff p50 ratio = %.2f, want >= 1.3: the transfer path should roughly halve the handoff delay", ratio)
+	}
+}
+
+// TestLiveHandoffAB measures the paper's T-versus-2T claim on a live
+// deployment of both fabrics: with a deterministic per-hop delay, the p50
+// release→next-entry handoff must be clearly lower with the transfer path
+// enabled than with handovers forced onto the release fallback.
+func TestLiveHandoffAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark smoke; skipped in -short")
+	}
+	t.Run("inproc-grid9", func(t *testing.T) {
+		ab, err := RunAB(abConfig(DriverInproc, 9, "grid", 4*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAB(t, ab)
+	})
+	t.Run("tcp-tree7", func(t *testing.T) {
+		ab, err := RunAB(abConfig(DriverTCP, 7, "tree", 2*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAB(t, ab)
+	})
+}
+
+// TestBenchSmoke is the artifact-path smoke: a short deterministic sweep
+// over grid-9 and tree-7 in-process clusters, written and re-read as a
+// schema-checked BENCH_live JSON artifact with non-trivial throughput and
+// latency percentiles.
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark smoke; skipped in -short")
+	}
+	var runs []*Report
+	for _, tc := range []struct {
+		n      int
+		quorum string
+	}{
+		{9, "grid"},
+		{7, "tree"},
+	} {
+		rep, err := Run(Config{
+			Driver:    DriverInproc,
+			N:         tc.n,
+			Quorum:    tc.quorum,
+			Resources: 4,
+			Dist:      DistZipf,
+			Arrival:   ArrivalOpen,
+			Rate:      400,
+			Workers:   2 * tc.n,
+			Hold:      200 * time.Microsecond,
+			Warmup:    150 * time.Millisecond,
+			Measure:   500 * time.Millisecond,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatalf("%s-%d: %v", tc.quorum, tc.n, err)
+		}
+		if rep.Ops == 0 || rep.Throughput <= 0 {
+			t.Fatalf("%s-%d did no work: %+v", tc.quorum, tc.n, rep)
+		}
+		if rep.Acquire.Count == 0 || rep.Acquire.P99 < rep.Acquire.P50 || rep.Acquire.P50 <= 0 {
+			t.Fatalf("%s-%d has degenerate latency stats: %+v", tc.quorum, tc.n, rep.Acquire)
+		}
+		if rep.Messages == 0 || rep.MessagesPerCS <= 0 {
+			t.Fatalf("%s-%d reported no protocol traffic: %+v", tc.quorum, tc.n, rep)
+		}
+		runs = append(runs, rep)
+	}
+
+	dir := t.TempDir()
+	path, err := NewArtifact("smoke", runs).Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.Name != "smoke" || len(back.Runs) != 2 {
+		t.Fatalf("artifact round-trip lost data: %+v", back)
+	}
+	for i, rep := range back.Runs {
+		if rep.Throughput <= 0 || rep.Acquire.P95 <= 0 || rep.N != runs[i].N {
+			t.Errorf("run %d lost fields in round-trip: %+v", i, rep)
+		}
+	}
+}

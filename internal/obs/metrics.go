@@ -1,124 +1,23 @@
 package obs
 
 import (
-	"math"
-	"math/bits"
 	"sort"
 	"sync"
 
+	"dqmx/internal/hist"
 	"dqmx/internal/mutex"
 )
 
-// Histogram accumulates non-negative delay samples in power-of-two buckets
-// (bucket i holds values whose bit length is i, i.e. [2^(i-1), 2^i)). The
-// log-scale resolution is coarse but constant-size and allocation-free,
-// which is what the hot path needs; exact first moments ride alongside.
-type Histogram struct {
-	count    uint64
-	sum      float64
-	min, max int64
-	buckets  [65]uint64
-}
-
-// Add folds one sample into the histogram. Negative samples (which can only
-// arise from clock trouble in a live driver) are clamped to zero.
-func (h *Histogram) Add(v int64) {
-	if v < 0 {
-		v = 0
-	}
-	if h.count == 0 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.count++
-	h.sum += float64(v)
-	h.buckets[bits.Len64(uint64(v))]++
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count }
-
-// Mean returns the exact sample mean (0 when empty).
-func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / float64(h.count)
-}
-
-// Quantile returns an upper bound for the p-th quantile (0 ≤ p ≤ 1): the
-// upper edge of the log-scale bucket the quantile lands in, clamped to the
-// observed maximum.
-func (h *Histogram) Quantile(p float64) int64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(p * float64(h.count)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen uint64
-	for i, c := range h.buckets {
-		seen += c
-		if seen >= rank {
-			if i == 0 {
-				return 0
-			}
-			edge := int64(1) << uint(i)
-			edge-- // inclusive upper edge of [2^(i-1), 2^i)
-			if edge > h.max {
-				edge = h.max
-			}
-			return edge
-		}
-	}
-	return h.max
-}
-
-// Merge folds another histogram into h (used to aggregate per-resource
-// distributions into a cluster-wide view).
-func (h *Histogram) Merge(o *Histogram) {
-	if o.count == 0 {
-		return
-	}
-	if h.count == 0 || o.min < h.min {
-		h.min = o.min
-	}
-	if o.max > h.max {
-		h.max = o.max
-	}
-	h.count += o.count
-	h.sum += o.sum
-	for i := range h.buckets {
-		h.buckets[i] += o.buckets[i]
-	}
-}
-
-// Stats summarizes the histogram.
-func (h *Histogram) Stats() DelayStats {
-	if h.count == 0 {
-		return DelayStats{}
-	}
-	return DelayStats{
-		Count: h.count,
-		Mean:  h.Mean(),
-		Min:   h.min,
-		Max:   h.max,
-		P50:   h.Quantile(0.50),
-		P99:   h.Quantile(0.99),
-	}
-}
+// Histogram is the repository's log-linear latency histogram
+// (internal/hist): constant-size, allocation-free on Add, mergeable, with
+// ≤ 6.25% quantile error. The alias keeps the observability layer's delay
+// tracking and the load-generation lab (internal/loadgen) on one type.
+type Histogram = hist.Histogram
 
 // DelayStats reports one delay distribution in the driver's time unit
-// (simulated ticks or nanoseconds). P50/P99 are log-bucket upper bounds.
-type DelayStats struct {
-	Count    uint64
-	Mean     float64
-	Min, Max int64
-	P50, P99 int64
-}
+// (simulated ticks or nanoseconds). P50/P90/P95/P99 are log-linear-bucket
+// upper bounds, exact at the maximum.
+type DelayStats = hist.Summary
 
 // TransportStats counts the reliable-delivery sublayer's own traffic. It is
 // collector-global (the sublayer multiplexes every resource over one set of

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+
+	"dqmx/internal/mutex"
+)
+
+// DelayTracker derives the two components of acquire latency from the live
+// event stream, per resource, exactly as the Metrics aggregator does —
+// queue wait is request→entry, handoff delay is previous-exit→entry over
+// handovers where the entering site was already waiting — but gates sample
+// recording behind an explicit measurement window. The load-generation lab
+// (internal/loadgen) installs one per run: pairing state is maintained from
+// the first event so the derivation stays correct across phase boundaries,
+// while only entries observed between StartRecording and StopRecording
+// contribute samples. That is what keeps warmup and drain traffic out of
+// the reported percentiles.
+//
+// It is a Sink (Observe) and safe for concurrent use; live drivers run one
+// goroutine per site, all feeding the same tracker.
+type DelayTracker struct {
+	mu        sync.Mutex
+	recording bool
+	res       map[string]*trackerRes
+	handoff   Histogram
+	waiting   Histogram
+}
+
+// trackerRes is the per-resource pairing state; guarded by the tracker's mu.
+type trackerRes struct {
+	requested map[mutex.SiteID]int64
+	lastExit  int64
+	haveExit  bool
+}
+
+// NewDelayTracker returns a tracker with recording off.
+func NewDelayTracker() *DelayTracker {
+	return &DelayTracker{res: make(map[string]*trackerRes)}
+}
+
+// StartRecording opens the measurement window: subsequent entries sample.
+func (t *DelayTracker) StartRecording() {
+	t.mu.Lock()
+	t.recording = true
+	t.mu.Unlock()
+}
+
+// StopRecording closes the measurement window.
+func (t *DelayTracker) StopRecording() {
+	t.mu.Lock()
+	t.recording = false
+	t.mu.Unlock()
+}
+
+// Observe folds one event into the tracker; it is the tracker's Sink.
+func (t *DelayTracker) Observe(e Event) {
+	switch e.Type {
+	case EventRequest, EventEnter, EventExit:
+	default:
+		return // message and transport events carry no delay information
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.res[e.Resource]
+	if !ok {
+		r = &trackerRes{requested: make(map[mutex.SiteID]int64)}
+		t.res[e.Resource] = r
+	}
+	switch e.Type {
+	case EventRequest:
+		r.requested[e.Site] = e.Time
+	case EventEnter:
+		req, waited := r.requested[e.Site]
+		delete(r.requested, e.Site)
+		if !t.recording || !waited {
+			return
+		}
+		t.waiting.Add(e.Time - req)
+		// A handoff sample needs a handover: the entering site requested
+		// before the previous holder exited (the paper's heavy-load
+		// synchronization-delay definition).
+		if r.haveExit && req <= r.lastExit && e.Time >= r.lastExit {
+			t.handoff.Add(e.Time - r.lastExit)
+		}
+	case EventExit:
+		r.lastExit = e.Time
+		r.haveExit = true
+	}
+}
+
+// Handoff summarizes the recorded handoff-delay (exit→next-entry) samples.
+func (t *DelayTracker) Handoff() DelayStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handoff.Stats()
+}
+
+// Waiting summarizes the recorded queue-wait (request→entry) samples.
+func (t *DelayTracker) Waiting() DelayStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.waiting.Stats()
+}

@@ -1,0 +1,76 @@
+package obs
+
+import "testing"
+
+// TestDelayTrackerWindow drives three handovers and checks that only the one
+// inside the recording window samples, while pairing state built during
+// warmup still pairs correctly.
+func TestDelayTrackerWindow(t *testing.T) {
+	tr := NewDelayTracker()
+	emit := tr.Observe
+	// Warmup handover: must not sample.
+	emit(Event{Type: EventRequest, Site: 0, Time: 0})
+	emit(Event{Type: EventEnter, Site: 0, Time: 10})
+	emit(Event{Type: EventRequest, Site: 1, Time: 5})
+	emit(Event{Type: EventExit, Site: 0, Time: 20})
+	tr.StartRecording()
+	// Site 1 requested during warmup (t=5) but enters inside the window:
+	// pairing state from warmup must still produce the right samples.
+	emit(Event{Type: EventEnter, Site: 1, Time: 30})
+	emit(Event{Type: EventRequest, Site: 2, Time: 25})
+	emit(Event{Type: EventExit, Site: 1, Time: 40})
+	emit(Event{Type: EventEnter, Site: 2, Time: 45})
+	tr.StopRecording()
+	// Drain handover: must not sample.
+	emit(Event{Type: EventRequest, Site: 0, Time: 44})
+	emit(Event{Type: EventExit, Site: 2, Time: 50})
+	emit(Event{Type: EventEnter, Site: 0, Time: 60})
+
+	handoff := tr.Handoff()
+	if handoff.Count != 2 {
+		t.Fatalf("handoff samples = %d, want 2", handoff.Count)
+	}
+	// Samples: 30-20=10 and 45-40=5.
+	if handoff.Mean != 7.5 || handoff.Min != 5 || handoff.Max != 10 {
+		t.Errorf("handoff = %+v", handoff)
+	}
+	waiting := tr.Waiting()
+	// Samples: 30-5=25 and 45-25=20.
+	if waiting.Count != 2 || waiting.Mean != 22.5 {
+		t.Errorf("waiting = %+v", waiting)
+	}
+}
+
+// TestDelayTrackerUncontended: an entry whose request came after the
+// previous exit is queue wait only, never a handoff.
+func TestDelayTrackerUncontended(t *testing.T) {
+	tr := NewDelayTracker()
+	tr.StartRecording()
+	tr.Observe(Event{Type: EventRequest, Site: 0, Time: 0})
+	tr.Observe(Event{Type: EventEnter, Site: 0, Time: 10})
+	tr.Observe(Event{Type: EventExit, Site: 0, Time: 20})
+	tr.Observe(Event{Type: EventRequest, Site: 1, Time: 100})
+	tr.Observe(Event{Type: EventEnter, Site: 1, Time: 110})
+	if h := tr.Handoff(); h.Count != 0 {
+		t.Errorf("uncontended run took %d handoff samples", h.Count)
+	}
+	if w := tr.Waiting(); w.Count != 2 {
+		t.Errorf("waiting samples = %d, want 2", w.Count)
+	}
+}
+
+// TestDelayTrackerPerResource: pairing is per resource; cross-resource
+// exit/enter interleavings never produce a handoff sample.
+func TestDelayTrackerPerResource(t *testing.T) {
+	tr := NewDelayTracker()
+	tr.StartRecording()
+	tr.Observe(Event{Type: EventRequest, Site: 0, Resource: "a", Time: 0})
+	tr.Observe(Event{Type: EventRequest, Site: 1, Resource: "b", Time: 0})
+	tr.Observe(Event{Type: EventEnter, Site: 0, Resource: "a", Time: 10})
+	tr.Observe(Event{Type: EventExit, Site: 0, Resource: "a", Time: 20})
+	// Resource b's entry follows a's exit in time but is no handover.
+	tr.Observe(Event{Type: EventEnter, Site: 1, Resource: "b", Time: 30})
+	if h := tr.Handoff(); h.Count != 0 {
+		t.Errorf("cross-resource handoff samples = %d", h.Count)
+	}
+}

@@ -174,20 +174,6 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 			c.fabric = chaos.NewFabric(*cfg.Chaos, direct.Send)
 		}
 		c.chaosStop = make(chan struct{})
-		for _, cr := range cfg.Chaos.Crashes {
-			cr := cr
-			c.chaosWG.Add(1)
-			go func() {
-				defer c.chaosWG.Done()
-				timer := time.NewTimer(cr.After)
-				defer timer.Stop()
-				select {
-				case <-timer.C:
-					c.killSite(cr.Site, cr.DetectAfter, c.chaosStop)
-				case <-c.chaosStop:
-				}
-			}()
-		}
 	}
 	switch {
 	case c.rel != nil && c.fabric != nil:
@@ -221,6 +207,25 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		c.nodes[i] = inst.(*Node)
+	}
+	// Start the chaos crash scheduler only once every manager exists: a
+	// crash with a tiny After would otherwise race killSite's manager()
+	// lookup against the construction loop above.
+	if cfg.Chaos != nil {
+		for _, cr := range cfg.Chaos.Crashes {
+			cr := cr
+			c.chaosWG.Add(1)
+			go func() {
+				defer c.chaosWG.Done()
+				timer := time.NewTimer(cr.After)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+					c.killSite(cr.Site, cr.DetectAfter, c.chaosStop)
+				case <-c.chaosStop:
+				}
+			}()
+		}
 	}
 	return c, nil
 }

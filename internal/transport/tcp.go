@@ -43,6 +43,13 @@ type TCPConfig struct {
 	Observer obs.Sink
 	// Policy bounds named-lock resource names.
 	Policy resource.Policy
+	// LinkDelay, when positive, holds every outbound batch for that long
+	// before it reaches the wire — a deterministic per-hop latency for
+	// benchmarking on loopback, where the real network delay is too small
+	// and too noisy to separate a T handover from a 2T one. It delays
+	// whole batches, not bytes: queueing ahead of the sleep still
+	// coalesces, so it models link latency, not bandwidth.
+	LinkDelay time.Duration
 }
 
 // TCPPeer hosts one site of a cluster spread across processes or machines
@@ -54,13 +61,14 @@ type TCPConfig struct {
 // must register their message types with encoding/gob first
 // (core.RegisterGobMessages does this for the delay-optimal protocol).
 type TCPPeer struct {
-	self     mutex.SiteID
-	manager  *resource.Manager
-	node     *Node     // default-resource instance, kept for the legacy Node API
-	rel      *reliable // the reliable-delivery sublayer over the raw writers
-	listener net.Listener
-	peers    map[mutex.SiteID]string
-	metrics  *obs.Metrics // nil unless metrics collection was requested
+	self      mutex.SiteID
+	manager   *resource.Manager
+	node      *Node     // default-resource instance, kept for the legacy Node API
+	rel       *reliable // the reliable-delivery sublayer over the raw writers
+	listener  net.Listener
+	peers     map[mutex.SiteID]string
+	metrics   *obs.Metrics // nil unless metrics collection was requested
+	linkDelay time.Duration
 
 	mu      sync.Mutex
 	outs    map[mutex.SiteID]*outbound
@@ -114,13 +122,14 @@ func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 	}
 	p := &TCPPeer{
-		self:     cfg.Self,
-		listener: ln,
-		peers:    make(map[mutex.SiteID]string, len(cfg.Peers)),
-		metrics:  cfg.Metrics,
-		outs:     make(map[mutex.SiteID]*outbound),
-		inbound:  make(map[net.Conn]bool),
-		stopC:    make(chan struct{}),
+		self:      cfg.Self,
+		listener:  ln,
+		peers:     make(map[mutex.SiteID]string, len(cfg.Peers)),
+		metrics:   cfg.Metrics,
+		linkDelay: cfg.LinkDelay,
+		outs:      make(map[mutex.SiteID]*outbound),
+		inbound:   make(map[net.Conn]bool),
+		stopC:     make(chan struct{}),
 	}
 	for id, addr := range cfg.Peers {
 		p.peers[id] = addr
@@ -294,6 +303,7 @@ type outbound struct {
 
 	mu     sync.Mutex
 	queue  []wireEnvelope
+	spare  []wireEnvelope // drained batch recycled as the next queue backing
 	notify chan struct{}
 
 	// conn is guarded by mu so Close can abort a blocked write from outside
@@ -319,7 +329,11 @@ func (o *outbound) enqueue(envs []mutex.Envelope) {
 }
 
 // run drains the queue: everything queued since the last drain — across all
-// resources — is encoded back-to-back and flushed in one write.
+// resources — is encoded back-to-back and flushed in one write. The queue and
+// the previous drain's batch double-buffer: while one slice is being written,
+// enqueue appends into the other, and each write-out hands its backing array
+// back as the next queue. Steady-state traffic therefore allocates no queue
+// space at all once both buffers have grown to the high-water batch size.
 func (o *outbound) run() {
 	defer o.peer.wg.Done()
 	defer o.closeConn()
@@ -332,12 +346,21 @@ func (o *outbound) run() {
 		for {
 			o.mu.Lock()
 			batch := o.queue
-			o.queue = nil
+			o.queue = o.spare
+			o.spare = nil
 			o.mu.Unlock()
 			if len(batch) == 0 {
 				break
 			}
 			o.write(batch)
+			// Drop the envelope contents (Msg holds pointers) before
+			// recycling, so the spare buffer never pins protocol messages.
+			for i := range batch {
+				batch[i] = wireEnvelope{}
+			}
+			o.mu.Lock()
+			o.spare = batch[:0]
+			o.mu.Unlock()
 		}
 	}
 }
@@ -350,6 +373,13 @@ func (o *outbound) write(batch []wireEnvelope) {
 	o.peer.mu.Lock()
 	drop := o.peer.dropOut
 	o.peer.mu.Unlock()
+	if d := o.peer.linkDelay; d > 0 {
+		select {
+		case <-time.After(d):
+		case <-o.peer.stopC:
+			return
+		}
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		if !o.ensureConn() {
 			return
@@ -392,7 +422,13 @@ func (o *outbound) ensureConn() bool {
 			o.mu.Lock()
 			o.conn = conn
 			o.mu.Unlock()
-			o.bw = bufio.NewWriter(conn)
+			if o.bw == nil {
+				o.bw = bufio.NewWriter(conn)
+			} else {
+				o.bw.Reset(conn) // recycle the write buffer across reconnects
+			}
+			// The encoder cannot be reused: gob sends type descriptors once
+			// per stream, and a new connection is a new stream.
 			o.enc = gob.NewEncoder(o.bw)
 			return true
 		}
@@ -420,7 +456,12 @@ func (o *outbound) closeConn() {
 	if conn != nil {
 		_ = conn.Close()
 	}
-	o.bw, o.enc = nil, nil
+	// The encoder dies with its stream; the bufio.Writer survives and is
+	// Reset onto the next connection.
+	o.enc = nil
+	if o.bw != nil {
+		o.bw.Reset(nil)
+	}
 }
 
 // abort closes the live connection from outside the writer goroutine,
