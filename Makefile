@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos soak fuzz bench bench-smoke bench-sim tables fmt
+.PHONY: check vet build test race chaos soak fuzz bench bench-smoke bench-codec bench-sim tables fmt
 
 # The standard gate: what CI and pre-commit should run. race already runs
 # the full seeded conformance sweep (internal/chaos/sweep) under -race;
@@ -22,22 +22,24 @@ race:
 
 # Seeded adversarial gate: the short conformance sweep, the lossy-liveness
 # sweep (drop-only schedules must complete every round — the reliable
-# delivery sublayer heals the loss), and a fuzz smoke of the TCP frame
-# decoders. Replay a failing schedule with
+# delivery sublayer heals the loss), and fuzz smokes of the TCP frame
+# decoders plus the gob-vs-binary differential. Replay a failing schedule with
 #   DQMX_CHAOS_SEED=<seed> $(GO) test -race -run TestChaosConformance ./internal/chaos/sweep
 chaos:
 	$(GO) test -race -short -run 'TestChaosConformance|TestLossyLiveness' ./internal/chaos/sweep
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/transport
 	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 10s ./internal/transport
+	$(GO) test -run FuzzCodecDifferential -fuzz FuzzCodecDifferential -fuzztime 10s ./internal/core
 
 # Long adversarial soak: 10x the sweep plus model-boundary probes.
 soak:
 	$(GO) test -race -tags soak -timeout 60m ./internal/chaos/sweep
 
-# Extended fuzzing of the wire decoders.
+# Extended fuzzing of the wire decoders and the gob-vs-binary differential.
 fuzz:
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 5m ./internal/transport
 	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 5m ./internal/transport
+	$(GO) test -run FuzzCodecDifferential -fuzz FuzzCodecDifferential -fuzztime 5m ./internal/core
 
 # Live-cluster benchmark sweep: real deployments (in-process and loopback
 # TCP) under the loadgen lab, including the transfer-vs-2T-fallback A/B.
@@ -48,9 +50,23 @@ bench:
 	$(GO) run ./cmd/dqmbench -ab -n 9 -quorum grid -driver inproc,tcp -measure 2s -name handoff-ab
 
 # Seconds-long deterministic live-benchmark smoke: the handoff A/B ratio
-# test on both fabrics plus the artifact schema round-trip. Part of check.
+# test on both fabrics, the artifact schema round-trip, the TCP
+# protocol/codec matrix, and the codec speedup assertion (binary must beat
+# gob by >= 3x in round-trip ns/op with a zero-allocation encode path).
+# Part of check.
 bench-smoke:
-	$(GO) test -run 'TestLiveHandoffAB|TestBenchSmoke' -count=1 -timeout 120s ./internal/loadgen
+	$(GO) test -run 'TestLiveHandoffAB|TestBenchSmoke|TestTCPProtocolsAndCodecs' -count=1 -timeout 120s ./internal/loadgen
+	$(GO) test -run TestCodecAB -count=1 -timeout 120s ./internal/core
+
+# Gob-vs-binary codec A/B: codec-level encode/decode microbenchmarks, the
+# TCP writer path under both codecs, and a dqmbench TCP cell per codec
+# (artifacts land in /tmp).
+bench-codec:
+	$(GO) test -bench 'BenchmarkEncode' -benchmem -run - -count=1 ./internal/wire
+	$(GO) test -bench 'BenchmarkCodec' -benchmem -run - -count=1 ./internal/core
+	$(GO) test -bench 'BenchmarkTCPWriter' -benchmem -run - -count=1 ./internal/transport
+	$(GO) run ./cmd/dqmbench -driver tcp -n 9 -quorum grid -hop 0 -measure 2s -name codec-binary -out /tmp
+	$(GO) run ./cmd/dqmbench -driver tcp -codec gob -n 9 -quorum grid -hop 0 -measure 2s -name codec-gob -out /tmp
 
 # Regenerate the paper's simulated evaluation (slow).
 bench-sim:

@@ -12,12 +12,14 @@
 //	dqmbench -arrival open -rate 500 -resources 8 -dist zipf
 //	dqmbench -ab                               # transfer vs 2T-fallback A/B
 //	dqmbench -ab -driver tcp -n 7 -quorum tree # the paper's claim, on TCP
+//	dqmbench -driver tcp -codec gob            # pin the v0 gob wire codec
 //
 // Every run is seeded (-seed): rerunning with the same flags replays the
 // same key and arrival sequences. The -hop flag imposes a deterministic
-// per-hop message delay (chaos delay on inproc, transport LinkDelay on
-// TCP), which is what makes the T-versus-2T structure visible above
-// loopback noise.
+// per-hop message delay (chaos delay on inproc, the transport's
+// Wire.LinkDelay on TCP), which is what makes the T-versus-2T structure
+// visible above loopback noise. The -codec flag pins the TCP wire format
+// (binary wire-v1 by default, gob for v0 interop A/Bs).
 package main
 
 import (
@@ -36,7 +38,8 @@ func main() {
 		ns        = flag.String("n", "9", "comma-separated cluster sizes")
 		quorums   = flag.String("quorum", "grid", "comma-separated quorum constructions")
 		drivers   = flag.String("driver", "inproc", "comma-separated drivers (inproc, tcp)")
-		protocol  = flag.String("protocol", "delay-optimal", "protocol under test (tcp driver: delay-optimal only)")
+		protocol  = flag.String("protocol", "delay-optimal", "protocol under test")
+		codec     = flag.String("codec", "", "TCP wire codec (binary, gob; default binary)")
 		resources = flag.Int("resources", 1, "number of named locks")
 		dist      = flag.String("dist", "uniform", "key distribution (uniform, zipf)")
 		zipfS     = flag.Float64("zipf-s", 1.2, "zipf exponent (>1)")
@@ -91,6 +94,9 @@ func main() {
 					Measure:   *measure,
 					Seed:      *seed,
 				}
+				if driver == loadgen.DriverTCP {
+					cfg.Codec = *codec
+				}
 				if *ab {
 					res, err := loadgen.RunAB(cfg)
 					if err != nil {
@@ -131,8 +137,8 @@ func newTable() *table { return &table{} }
 
 func (t *table) row(r *loadgen.Report) {
 	if !t.headerDone {
-		fmt.Printf("%-7s %-6s %3s %-8s %-6s %9s %8s %11s %11s %11s %9s %7s\n",
-			"driver", "quorum", "n", "arrival", "xfer",
+		fmt.Printf("%-7s %-6s %-6s %3s %-8s %-6s %9s %8s %11s %11s %11s %9s %7s\n",
+			"driver", "codec", "quorum", "n", "arrival", "xfer",
 			"ops", "thr/s", "acq-p50", "acq-p99", "handoff-p50", "msgs/cs", "retx")
 		t.headerDone = true
 	}
@@ -140,8 +146,12 @@ func (t *table) row(r *loadgen.Report) {
 	if !r.Transfer {
 		xfer = "off"
 	}
-	fmt.Printf("%-7s %-6s %3d %-8s %-6s %9d %8.1f %11v %11v %11v %9.2f %7d\n",
-		r.Driver, r.Quorum, r.N, r.Arrival, xfer,
+	codec := r.Codec
+	if codec == "" {
+		codec = "-" // in-process runs have no wire
+	}
+	fmt.Printf("%-7s %-6s %-6s %3d %-8s %-6s %9d %8.1f %11v %11v %11v %9.2f %7d\n",
+		r.Driver, codec, r.Quorum, r.N, r.Arrival, xfer,
 		r.Ops, r.Throughput,
 		time.Duration(r.Acquire.P50), time.Duration(r.Acquire.P99),
 		time.Duration(r.Handoff.P50), r.MessagesPerCS, r.Retransmits)

@@ -36,7 +36,6 @@ import (
 	"time"
 
 	"dqmx/internal/chaos"
-	"dqmx/internal/core"
 	"dqmx/internal/coterie"
 	"dqmx/internal/harness"
 	"dqmx/internal/mutex"
@@ -44,6 +43,7 @@ import (
 	"dqmx/internal/resource"
 	"dqmx/internal/sim"
 	"dqmx/internal/transport"
+	"dqmx/internal/wire"
 	"dqmx/internal/workload"
 )
 
@@ -202,6 +202,85 @@ type MetricsSnapshot = obs.Snapshot
 // log-bucket p50/p99).
 type DelayStats = obs.DelayStats
 
+// Codec names a wire codec for TCP deployments.
+type Codec string
+
+// Wire codecs for WireConfig.Codec.
+const (
+	// BinaryCodec is wire format v1: a hand-rolled zero-allocation binary
+	// framing with varint fields and per-connection resource-name interning.
+	// The default. See PROTOCOL.md, "Wire format v1".
+	BinaryCodec Codec = wire.NameBinary
+	// GobCodec is wire format v0: the legacy encoding/gob stream. Pin it to
+	// interoperate with peers that predate the wire-version handshake; new
+	// builds negotiate down to it automatically when such a peer dials in.
+	GobCodec Codec = wire.NameGob
+)
+
+// Codecs enumerates every valid wire codec name, the default first. Flag
+// parsing and validation should use this instead of keeping a private copy
+// of the list.
+func Codecs() []Codec {
+	return []Codec{BinaryCodec, GobCodec}
+}
+
+// WireConfig consolidates the byte-layer knobs of a TCP deployment: codec
+// selection, synthetic link delay, and the reconnect policy. It applies to
+// NewTCPNode only — in-process clusters have no wire, and simulations model
+// delay through their own delay distribution. The zero value means "binary
+// codec, no link delay, default reconnect policy".
+type WireConfig struct {
+	// Codec selects the wire format framing envelopes on TCP connections:
+	// BinaryCodec (the default) or GobCodec. Peers negotiate per connection
+	// at handshake, so mixed-codec clusters interoperate; the codec here is
+	// the newest format this peer offers and accepts.
+	Codec Codec
+	// LinkDelay, when positive, holds every outbound batch for that long
+	// before it reaches the wire — a deterministic per-hop latency for
+	// benchmarking on loopback, where real network delay is too small to
+	// separate a T handover from a 2T one.
+	LinkDelay time.Duration
+	// DialTimeout bounds one connection attempt, handshake included
+	// (default 5s).
+	DialTimeout time.Duration
+	// ReconnectAttempts is the dial budget per batch delivery (default 6).
+	ReconnectAttempts int
+	// ReconnectBase and ReconnectMax bound the exponential backoff between
+	// dial attempts (defaults 25ms and 500ms).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+}
+
+// validate checks the codec name; the duration and count knobs have no
+// invalid values (zero and below mean "use the default").
+func (w WireConfig) validate() error {
+	if _, err := wire.ForName(string(w.Codec)); err != nil {
+		return fmt.Errorf("dqmx: %w", err)
+	}
+	return nil
+}
+
+// transportConfig lowers the public knobs onto the transport layer,
+// folding in the deprecated Options.LinkDelay shim.
+func (o Options) transportConfig() (transport.WireConfig, error) {
+	codec, err := wire.ForName(string(o.Wire.Codec))
+	if err != nil {
+		return transport.WireConfig{}, fmt.Errorf("dqmx: %w", err)
+	}
+	w := transport.WireConfig{
+		Codec:             codec,
+		LinkDelay:         o.Wire.LinkDelay,
+		DialTimeout:       o.Wire.DialTimeout,
+		ReconnectAttempts: o.Wire.ReconnectAttempts,
+		ReconnectBase:     o.Wire.ReconnectBase,
+		ReconnectMax:      o.Wire.ReconnectMax,
+	}
+	if w.LinkDelay == 0 {
+		w.LinkDelay = o.LinkDelay
+	}
+	return w, nil
+}
+
 // Options configures a cluster or simulation.
 type Options struct {
 	// Protocol defaults to DelayOptimal.
@@ -236,20 +315,25 @@ type Options struct {
 	// an in-process cluster (NewClusterWith only — TCP deployments and
 	// simulations reject it; the simulator has its own fault machinery).
 	Chaos *ChaosPlan
-	// LinkDelay, when positive, holds every outbound batch of a TCP peer
-	// for that long before it reaches the wire — a deterministic per-hop
-	// latency for benchmarking on loopback, where real network delay is too
-	// small to separate a T handover from a 2T one (NewTCPNode only;
-	// in-process clusters model delay through Chaos, simulations through
-	// their delay distribution).
+	// Wire consolidates the byte-layer knobs of a TCP deployment: codec
+	// selection, synthetic link delay, and the reconnect policy (NewTCPNode
+	// only; in-process clusters model delay through Chaos, simulations
+	// through their delay distribution).
+	Wire WireConfig
+	// LinkDelay is the pre-WireConfig name for Wire.LinkDelay, kept as a
+	// forwarding shim. When both are set, Wire.LinkDelay wins.
+	//
+	// Deprecated: set Wire.LinkDelay instead.
 	LinkDelay time.Duration
 }
 
-// Validate checks that the options name a known protocol and quorum
-// construction; its error lists the valid choices.
+// Validate checks that the options name a known protocol, quorum
+// construction, and wire codec; its errors list the valid choices.
 func (o Options) Validate() error {
-	_, err := o.algorithm()
-	return err
+	if _, err := o.algorithm(); err != nil {
+		return err
+	}
+	return o.Wire.validate()
 }
 
 // Construction returns the coterie construction named by q.
@@ -291,8 +375,11 @@ func NewCluster(n int) (*Cluster, error) {
 
 // NewClusterWith starts an in-process cluster with explicit options.
 func NewClusterWith(n int, opts Options) (*Cluster, error) {
-	if opts.LinkDelay != 0 {
-		return nil, errors.New("dqmx: LinkDelay applies to TCP peers only; use Chaos delay on in-process clusters")
+	if opts.LinkDelay != 0 || opts.Wire.LinkDelay != 0 {
+		return nil, errors.New("dqmx: Wire.LinkDelay applies to TCP peers only; use Chaos delay on in-process clusters")
+	}
+	if opts.Wire != (WireConfig{}) {
+		return nil, errors.New("dqmx: Wire applies to TCP peers only; in-process clusters have no wire")
 	}
 	alg, err := opts.algorithm()
 	if err != nil {
@@ -395,8 +482,10 @@ func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 	if err != nil {
 		return nil, err
 	}
-	core.RegisterGobMessages()
-	transport.RegisterGobMessages()
+	wcfg, err := opts.transportConfig()
+	if err != nil {
+		return nil, err
+	}
 	return transport.NewTCPPeerConfig(transport.TCPConfig{
 		Self: id,
 		Factory: func(string) (mutex.Site, error) {
@@ -413,7 +502,7 @@ func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 		Metrics:    opts.collector(),
 		Observer:   opts.Observer,
 		Policy:     opts.Resources,
-		LinkDelay:  opts.LinkDelay,
+		Wire:       wcfg,
 	})
 }
 

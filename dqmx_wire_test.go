@@ -1,0 +1,148 @@
+package dqmx_test
+
+// Public-surface tests for the WireConfig knobs: codec validation, the
+// in-process rejection of TCP-only options, the deprecated LinkDelay shim,
+// and a TCP cluster explicitly pinned to each codec.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dqmx"
+)
+
+func TestCodecsEnumeration(t *testing.T) {
+	codecs := dqmx.Codecs()
+	if len(codecs) != 2 || codecs[0] != dqmx.BinaryCodec || codecs[1] != dqmx.GobCodec {
+		t.Fatalf("Codecs() = %v", codecs)
+	}
+}
+
+func TestValidateWireCodec(t *testing.T) {
+	for _, c := range dqmx.Codecs() {
+		if err := (dqmx.Options{Wire: dqmx.WireConfig{Codec: c}}).Validate(); err != nil {
+			t.Errorf("codec %q rejected: %v", c, err)
+		}
+	}
+	if err := (dqmx.Options{}).Validate(); err != nil {
+		t.Errorf("empty codec rejected: %v", err)
+	}
+	if err := (dqmx.Options{Wire: dqmx.WireConfig{Codec: "msgpack"}}).Validate(); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestInprocRejectsWireOptions(t *testing.T) {
+	cases := map[string]dqmx.Options{
+		"deprecated LinkDelay": {LinkDelay: time.Millisecond},
+		"Wire.LinkDelay":       {Wire: dqmx.WireConfig{LinkDelay: time.Millisecond}},
+		"Wire.Codec":           {Wire: dqmx.WireConfig{Codec: dqmx.GobCodec}},
+	}
+	for name, opts := range cases {
+		if _, err := dqmx.NewClusterWith(3, opts); err == nil {
+			t.Errorf("%s accepted on in-process cluster", name)
+		}
+	}
+}
+
+func TestTCPNodeRejectsUnknownCodec(t *testing.T) {
+	opts := dqmx.Options{Wire: dqmx.WireConfig{Codec: "msgpack"}}
+	if _, err := dqmx.NewTCPNode(3, 0, "127.0.0.1:0", nil, opts); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+// newTCPCluster starts an n-site TCP cluster where site i runs with opts[i],
+// using the reserve-then-rebuild address wiring from TestTCPNodes.
+func newTCPCluster(t *testing.T, opts []dqmx.Options) []*dqmx.TCPPeer {
+	t.Helper()
+	n := len(opts)
+	tmp := make([]*dqmx.TCPPeer, n)
+	addrs := make(map[dqmx.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		p, err := dqmx.NewTCPNode(n, dqmx.SiteID(i), "127.0.0.1:0", nil, dqmx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmp[i] = p
+		addrs[dqmx.SiteID(i)] = p.Addr()
+	}
+	for _, p := range tmp {
+		p.Close()
+	}
+	peers := make([]*dqmx.TCPPeer, n)
+	for i := 0; i < n; i++ {
+		book := make(map[dqmx.SiteID]string)
+		for j, a := range addrs {
+			if int(j) != i {
+				book[j] = a
+			}
+		}
+		p, err := dqmx.NewTCPNode(n, dqmx.SiteID(i), addrs[dqmx.SiteID(i)], book, opts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	t.Cleanup(func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	})
+	return peers
+}
+
+func runTCPRounds(t *testing.T, peers []*dqmx.TCPPeer, rounds int) {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		for i, p := range peers {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := p.Node().Acquire(ctx)
+			cancel()
+			if err != nil {
+				t.Fatalf("round %d: site %d: %v", round, i, err)
+			}
+			p.Node().Release()
+		}
+	}
+}
+
+func TestTCPNodesPinnedCodec(t *testing.T) {
+	for _, c := range dqmx.Codecs() {
+		c := c
+		t.Run(string(c), func(t *testing.T) {
+			opts := dqmx.Options{Wire: dqmx.WireConfig{Codec: c}}
+			peers := newTCPCluster(t, []dqmx.Options{opts, opts, opts})
+			runTCPRounds(t, peers, 2)
+		})
+	}
+}
+
+// TestTCPNodesDeprecatedLinkDelay pins the migration shim: the old
+// Options.LinkDelay still reaches the transport, and Wire.LinkDelay wins
+// when both are set. A 20ms hop delay on a 3-site majority cluster puts a
+// hard floor under the acquire latency that loopback cannot dodge.
+func TestTCPNodesDeprecatedLinkDelay(t *testing.T) {
+	const hop = 20 * time.Millisecond
+	opts := dqmx.Options{
+		LinkDelay: hop,
+		// Wire.LinkDelay wins over the deprecated field; setting it to the
+		// same value here would make the test pass trivially, so leave it
+		// zero and let the shim forward.
+	}
+	peers := newTCPCluster(t, []dqmx.Options{opts, opts, opts})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := peers[0].Node().Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	peers[0].Node().Release()
+	// One request/reply exchange with a quorum costs at least two delayed
+	// hops; anything faster means the shim dropped the delay.
+	if elapsed < 2*hop {
+		t.Errorf("acquire took %v, want >= %v (LinkDelay shim not applied)", elapsed, 2*hop)
+	}
+}

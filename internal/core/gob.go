@@ -1,16 +1,8 @@
 package core
 
-import "encoding/gob"
-
-// RegisterGobMessages registers the protocol's wire messages with
-// encoding/gob so mutex.Envelope values can cross a real network (see
-// internal/transport). Safe to call multiple times.
-func RegisterGobMessages() {
-	gob.Register(requestMsg{})
-	gob.Register(replyMsg{})
-	gob.Register(releaseMsg{})
-	gob.Register(inquireMsg{})
-	gob.Register(failMsg{})
-	gob.Register(yieldMsg{})
-	gob.Register(transferMsg{})
-}
+// RegisterGobMessages is a no-op kept for source compatibility.
+//
+// Deprecated: the protocol's messages register themselves with both wire
+// codecs (including encoding/gob for the v0 stream) when this package is
+// imported; there is no longer a separate registration step to perform.
+func RegisterGobMessages() {}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// Binary wire registration for the seven §3.1 control messages (tags 1–7 in
+// the range reserved for core by internal/wire). Field order in each encode
+// function is the normative v1 layout documented in PROTOCOL.md; changing it
+// is a wire-format break.
+
+const (
+	tagRequest byte = iota + 1
+	tagReply
+	tagRelease
+	tagInquire
+	tagFail
+	tagYield
+	tagTransfer
+)
+
+func init() {
+	wire.RegisterMessage(tagRequest, requestMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(requestMsg).TS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return requestMsg{TS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagReply, replyMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(replyMsg)
+			b = wire.AppendSite(b, v.Arbiter)
+			b = wire.AppendTimestamp(b, v.ReqTS)
+			// A flag byte separates the common no-transfer reply from the
+			// piggybacked A.4 form.
+			if v.Transfer == nil {
+				return wire.AppendBool(b, false)
+			}
+			b = wire.AppendBool(b, true)
+			return appendTransferInfo(b, *v.Transfer)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			v := replyMsg{Arbiter: r.Site(), ReqTS: r.Timestamp()}
+			if r.Bool() {
+				ti := readTransferInfo(r)
+				v.Transfer = &ti
+			}
+			return v, nil
+		})
+
+	wire.RegisterMessage(tagRelease, releaseMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(releaseMsg)
+			b = wire.AppendTimestamp(b, v.ReqTS)
+			b = wire.AppendSite(b, v.Fwd) // timestamp.None (−1) zigzags to one byte
+			b = wire.AppendTimestamp(b, v.FwdTS)
+			return wire.AppendBool(b, v.Withdraw)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return releaseMsg{
+				ReqTS:    r.Timestamp(),
+				Fwd:      r.Site(),
+				FwdTS:    r.Timestamp(),
+				Withdraw: r.Bool(),
+			}, nil
+		})
+
+	wire.RegisterMessage(tagInquire, inquireMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(inquireMsg)
+			b = wire.AppendSite(b, v.Arbiter)
+			return wire.AppendTimestamp(b, v.HolderTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return inquireMsg{Arbiter: r.Site(), HolderTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagFail, failMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(failMsg)
+			b = wire.AppendSite(b, v.Arbiter)
+			return wire.AppendTimestamp(b, v.ReqTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return failMsg{Arbiter: r.Site(), ReqTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagYield, yieldMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(yieldMsg).ReqTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return yieldMsg{ReqTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagTransfer, transferMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(transferMsg)
+			b = appendTransferInfo(b, v.Transfer)
+			b = wire.AppendTimestamp(b, v.HolderTS)
+			return wire.AppendBool(b, v.Inquire)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return transferMsg{
+				Transfer: readTransferInfo(r),
+				HolderTS: r.Timestamp(),
+				Inquire:  r.Bool(),
+			}, nil
+		})
+}
+
+func appendTransferInfo(b []byte, ti transferInfo) []byte {
+	b = wire.AppendSite(b, ti.Arbiter)
+	return wire.AppendTimestamp(b, ti.TargetTS)
+}
+
+func readTransferInfo(r *wire.Reader) transferInfo {
+	return transferInfo{Arbiter: r.Site(), TargetTS: r.Timestamp()}
+}

@@ -1,0 +1,41 @@
+package lamport
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// Binary wire registration (tags 16–18 in internal/wire's tag space).
+const (
+	tagRequest byte = iota + 16
+	tagReply
+	tagRelease
+)
+
+func init() {
+	wire.RegisterMessage(tagRequest, requestMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(requestMsg).TS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return requestMsg{TS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagReply, replyMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(replyMsg)
+			b = wire.AppendTimestamp(b, v.From)
+			return wire.AppendTimestamp(b, v.Req)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return replyMsg{From: r.Timestamp(), Req: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagRelease, releaseMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(releaseMsg).TS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return releaseMsg{TS: r.Timestamp()}, nil
+		})
+}

@@ -14,10 +14,24 @@ const (
 	// fabric, optionally under a chaos plan.
 	DriverInproc = "inproc"
 	// DriverTCP runs all N sites in this process as real TCP peers over
-	// loopback — gob encoding, per-destination writers, the reliability
-	// sublayer — with Config.HopDelay as the transport's LinkDelay.
+	// loopback — the negotiated wire codec (Config.Codec), per-destination
+	// writers, the reliability sublayer — with Config.HopDelay as the
+	// transport's link delay.
 	DriverTCP = "tcp"
 )
+
+// wireCodecName canonicalizes a Config.Codec value, resolving the empty
+// default to the codec the transport would actually pick.
+func wireCodecName(name string) (string, error) {
+	c := dqmx.Codec(name)
+	if name == "" {
+		c = dqmx.BinaryCodec
+	}
+	if err := (dqmx.Options{Wire: dqmx.WireConfig{Codec: c}}).Validate(); err != nil {
+		return "", fmt.Errorf("loadgen: %w", err)
+	}
+	return string(c), nil
+}
 
 // driver abstracts the two fabrics behind the one operation the workers
 // need: a site's handle for a named lock. Handles are canonical per
@@ -62,7 +76,10 @@ func newDriver(cfg Config, sink obs.Sink) (driver, error) {
 		}
 		return &inprocDriver{cluster: c}, nil
 	case DriverTCP:
-		opts.LinkDelay = cfg.HopDelay
+		opts.Wire = dqmx.WireConfig{
+			Codec:     dqmx.Codec(cfg.Codec),
+			LinkDelay: cfg.HopDelay,
+		}
 		return newTCPDriver(cfg.N, opts)
 	}
 	return nil, fmt.Errorf("loadgen: unknown driver %q", cfg.Driver)

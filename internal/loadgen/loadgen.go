@@ -100,10 +100,13 @@ type Config struct {
 	// Driver selects the fabric: DriverInproc or DriverTCP.
 	Driver string
 	// Protocol and Quorum select the algorithm; both default to the paper's
-	// (delay-optimal over grid). The TCP driver supports only delay-optimal
-	// — it is the one protocol with a gob wire registration.
+	// (delay-optimal over grid). Every protocol runs on both fabrics — each
+	// registers its wire messages with the codec layer.
 	Protocol string
 	Quorum   string
+	// Codec selects the TCP driver's wire codec ("binary" or "gob"; empty
+	// means binary). The in-process driver has no wire and rejects it.
+	Codec string
 	// N is the cluster size.
 	N int
 	// Resources is the number of named locks (default 1).
@@ -211,12 +214,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Drain == 0 {
 		c.Drain = 5 * time.Second
 	}
-	if c.Driver == DriverTCP {
-		if c.Protocol != "" && c.Protocol != "delay-optimal" {
-			return c, fmt.Errorf("loadgen: the TCP driver runs delay-optimal only (gob wire registration), got %q", c.Protocol)
-		}
+	switch c.Driver {
+	case DriverTCP:
 		if c.Chaos != nil {
 			return c, fmt.Errorf("loadgen: chaos plans apply to the in-process driver only")
+		}
+		// Resolve the codec name now so artifacts record the actual wire
+		// format, never an ambiguous empty string.
+		codec, err := wireCodecName(c.Codec)
+		if err != nil {
+			return c, err
+		}
+		c.Codec = codec
+	case DriverInproc:
+		if c.Codec != "" {
+			return c, fmt.Errorf("loadgen: wire codecs apply to the TCP driver only, got %q", c.Codec)
 		}
 	}
 	return c, nil

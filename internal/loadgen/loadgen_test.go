@@ -141,11 +141,27 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := (Config{N: 9, Measure: time.Second, Dist: DistZipf, ZipfS: 0.5}).withDefaults(); err == nil {
 		t.Error("zipf with s <= 1 accepted")
 	}
-	if _, err := (Config{N: 9, Measure: time.Second, Driver: DriverTCP, Protocol: "maekawa"}).withDefaults(); err == nil {
-		t.Error("TCP driver accepted a protocol with no wire registration")
+	if _, err := (Config{N: 9, Measure: time.Second, Driver: DriverTCP, Protocol: "maekawa"}).withDefaults(); err != nil {
+		t.Errorf("TCP driver rejected maekawa: %v (every protocol registers wire messages now)", err)
 	}
 	if _, err := (Config{N: 9, Measure: time.Second, Driver: DriverTCP, Chaos: &ChaosPlanConfig{Drop: 0.1}}).withDefaults(); err == nil {
 		t.Error("TCP driver accepted a chaos plan")
+	}
+	if _, err := (Config{N: 9, Measure: time.Second, Driver: DriverTCP, Codec: "msgpack"}).withDefaults(); err == nil {
+		t.Error("TCP driver accepted an unknown codec")
+	}
+	if _, err := (Config{N: 9, Measure: time.Second, Codec: "binary"}).withDefaults(); err == nil {
+		t.Error("in-process driver accepted a wire codec")
+	}
+	tcp, err := (Config{N: 9, Measure: time.Second, Driver: DriverTCP}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Codec != "binary" {
+		t.Errorf("TCP default codec = %q, want binary", tcp.Codec)
+	}
+	if tcp, err := (Config{N: 9, Measure: time.Second, Driver: DriverTCP, Codec: "gob"}).withDefaults(); err != nil || tcp.Codec != "gob" {
+		t.Errorf("TCP gob codec: %v (codec %q)", err, tcp.Codec)
 	}
 	cfg, err := (Config{N: 9, Measure: time.Second}).withDefaults()
 	if err != nil {

@@ -16,9 +16,12 @@ import (
 // and everything measured inside the measure window. It marshals directly
 // into the BENCH_live_*.json artifact (all delay stats in nanoseconds).
 type Report struct {
-	Driver    string  `json:"driver"`
-	Protocol  string  `json:"protocol"`
-	Quorum    string  `json:"quorum"`
+	Driver   string `json:"driver"`
+	Protocol string `json:"protocol"`
+	Quorum   string `json:"quorum"`
+	// Codec is the wire codec of a TCP run; empty for in-process runs,
+	// which have no wire.
+	Codec     string  `json:"codec,omitempty"`
 	N         int     `json:"n"`
 	Resources int     `json:"resources"`
 	Dist      string  `json:"dist"`
@@ -228,6 +231,7 @@ func Run(cfg Config) (*Report, error) {
 		Driver:     cfg.Driver,
 		Protocol:   protocolName(cfg.Protocol),
 		Quorum:     quorumName(cfg.Quorum),
+		Codec:      cfg.Codec,
 		N:          cfg.N,
 		Resources:  cfg.Resources,
 		Dist:       cfg.Dist,

@@ -80,6 +80,51 @@ func TestLiveHandoffAB(t *testing.T) {
 	})
 }
 
+// TestTCPProtocolsAndCodecs pins the two freedoms the TCP driver gained
+// with the wire-v1 codec layer: any protocol runs over TCP (every algorithm
+// registers its wire messages), under either codec, and the report records
+// which codec framed the run.
+func TestTCPProtocolsAndCodecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark smoke; skipped in -short")
+	}
+	cases := []struct {
+		protocol, codec string
+	}{
+		{"suzuki-kasami", ""},      // baseline protocol, default codec
+		{"ricart-agrawala", "gob"}, // baseline protocol, pinned v0 codec
+		{"delay-optimal", "gob"},   // the paper's protocol on the v0 codec
+	}
+	for _, tc := range cases {
+		name := tc.protocol + "/" + tc.codec
+		t.Run(name, func(t *testing.T) {
+			rep, err := Run(Config{
+				Driver:   DriverTCP,
+				Protocol: tc.protocol,
+				Codec:    tc.codec,
+				N:        3,
+				Hold:     100 * time.Microsecond,
+				Warmup:   50 * time.Millisecond,
+				Measure:  300 * time.Millisecond,
+				Seed:     11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops == 0 || rep.Throughput <= 0 {
+				t.Fatalf("run did no work: %+v", rep)
+			}
+			want := tc.codec
+			if want == "" {
+				want = "binary"
+			}
+			if rep.Codec != want {
+				t.Errorf("report codec = %q, want %q", rep.Codec, want)
+			}
+		})
+	}
+}
+
 // TestBenchSmoke is the artifact-path smoke: a short deterministic sweep
 // over grid-9 and tree-7 in-process clusters, written and re-read as a
 // schema-checked BENCH_live JSON artifact with non-trivial throughput and

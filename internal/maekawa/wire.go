@@ -1,0 +1,72 @@
+package maekawa
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// Binary wire registration (tags 24–29 in internal/wire's tag space).
+const (
+	tagRequest byte = iota + 24
+	tagReply
+	tagRelease
+	tagInquire
+	tagFail
+	tagYield
+)
+
+func init() {
+	wire.RegisterMessage(tagRequest, requestMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(requestMsg).TS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return requestMsg{TS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagReply, replyMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(replyMsg)
+			b = wire.AppendSite(b, v.Arbiter)
+			return wire.AppendTimestamp(b, v.ReqTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return replyMsg{Arbiter: r.Site(), ReqTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagRelease, releaseMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(releaseMsg).ReqTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return releaseMsg{ReqTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagInquire, inquireMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(inquireMsg)
+			b = wire.AppendSite(b, v.Arbiter)
+			return wire.AppendTimestamp(b, v.HolderTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return inquireMsg{Arbiter: r.Site(), HolderTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagFail, failMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			v := m.(failMsg)
+			b = wire.AppendSite(b, v.Arbiter)
+			return wire.AppendTimestamp(b, v.ReqTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return failMsg{Arbiter: r.Site(), ReqTS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagYield, yieldMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(yieldMsg).ReqTS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return yieldMsg{ReqTS: r.Timestamp()}, nil
+		})
+}

@@ -1,0 +1,24 @@
+package raymond
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// Binary wire registration (tags 40–41 in internal/wire's tag space). Both
+// messages are empty structs — the tag byte alone identifies them, so each
+// costs exactly one payload byte on the wire.
+const (
+	tagRequest byte = iota + 40
+	tagToken
+)
+
+func init() {
+	wire.RegisterMessage(tagRequest, requestMsg{},
+		func(b []byte, m mutex.Message) []byte { return b },
+		func(r *wire.Reader) (mutex.Message, error) { return requestMsg{}, nil })
+
+	wire.RegisterMessage(tagToken, tokenMsg{},
+		func(b []byte, m mutex.Message) []byte { return b },
+		func(r *wire.Reader) (mutex.Message, error) { return tokenMsg{}, nil })
+}

@@ -1,0 +1,30 @@
+package ricartagrawala
+
+import (
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// Binary wire registration (tags 20–21 in internal/wire's tag space).
+const (
+	tagRequest byte = iota + 20
+	tagReply
+)
+
+func init() {
+	wire.RegisterMessage(tagRequest, requestMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(requestMsg).TS)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return requestMsg{TS: r.Timestamp()}, nil
+		})
+
+	wire.RegisterMessage(tagReply, replyMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendTimestamp(b, m.(replyMsg).Req)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return replyMsg{Req: r.Timestamp()}, nil
+		})
+}

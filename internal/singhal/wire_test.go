@@ -1,0 +1,29 @@
+package singhal
+
+import (
+	"reflect"
+	"testing"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+	"dqmx/internal/wire"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	ts := timestamp.Timestamp{Seq: 5, Site: 2}
+	for _, msg := range []mutex.Message{
+		requestMsg{TS: ts},
+		replyMsg{Req: ts},
+	} {
+		env := mutex.Envelope{From: 1, To: 2, Msg: msg}
+		for _, c := range []wire.Codec{wire.Binary(), wire.Gob()} {
+			got, err := wire.RoundTrip(c, env)
+			if err != nil {
+				t.Fatalf("%s: %T: %v", c.Name(), msg, err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Errorf("%s: %T: got %+v, want %+v", c.Name(), msg, got, env)
+			}
+		}
+	}
+}

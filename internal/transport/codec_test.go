@@ -1,0 +1,198 @@
+package transport
+
+// Handshake negotiation unit tests over net.Pipe, plus a mixed-version
+// cluster interop test: a peer pinned to the v0 gob codec and peers on the
+// default v1 binary codec must agree pairwise on every connection and still
+// run the protocol correctly in both directions.
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// handshakeResult is one side's outcome, delivered on a channel because the
+// two halves must run concurrently: a v0 dialer sends no preamble, so the
+// listener's sniff only returns once the first real frame is flushed.
+type handshakeResult[T any] struct {
+	v   T
+	err error
+}
+
+func TestHandshakeNegotiation(t *testing.T) {
+	cases := []struct {
+		name             string
+		dialer, listener wire.Codec
+		wantEnc, wantDec string
+	}{
+		{"binary-binary", wire.Binary(), wire.Binary(), "*wire.binaryEncoder", "*wire.binaryDecoder"},
+		{"binary-gob", wire.Binary(), wire.Gob(), "*wire.gobEncoder", "*wire.gobDecoder"},
+		{"gob-binary", wire.Gob(), wire.Binary(), "*wire.gobEncoder", "*wire.gobDecoder"},
+		{"gob-gob", wire.Gob(), wire.Gob(), "*wire.gobEncoder", "*wire.gobDecoder"},
+	}
+	env := mutex.Envelope{Resource: "hs", From: 1, To: 2, Msg: mutex.FailureMsg{Failed: 3}, Seq: 4, Ack: 5}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cs, ls := net.Pipe()
+			defer cs.Close()
+			defer ls.Close()
+			// The dialer side: handshake, then immediately encode + flush the
+			// first frame — the flush is what lets a v0 listener sniff.
+			bw := bufio.NewWriter(cs)
+			sendC := make(chan handshakeResult[wire.Encoder], 1)
+			go func() {
+				enc, err := negotiateOutbound(cs, bw, tc.dialer, time.Second)
+				if err == nil {
+					if err = enc.Encode(env); err == nil {
+						err = bw.Flush()
+					}
+				}
+				sendC <- handshakeResult[wire.Encoder]{enc, err}
+			}()
+			dec, err := negotiateInbound(ls, bufio.NewReader(ls), tc.listener, time.Second)
+			if err != nil {
+				t.Fatalf("inbound handshake: %v", err)
+			}
+			defer closeCodec(dec)
+			got, err := dec.Decode()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			sent := <-sendC
+			if sent.err != nil {
+				t.Fatalf("outbound handshake/encode: %v", sent.err)
+			}
+			defer closeCodec(sent.v)
+			if gotT := reflect.TypeOf(sent.v).String(); gotT != tc.wantEnc {
+				t.Errorf("encoder = %s, want %s", gotT, tc.wantEnc)
+			}
+			if gotT := reflect.TypeOf(dec).String(); gotT != tc.wantDec {
+				t.Errorf("decoder = %s, want %s", gotT, tc.wantDec)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Errorf("round-trip = %+v, want %+v", got, env)
+			}
+		})
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	// A preamble with bad magic must fail the inbound side.
+	cs, ls := net.Pipe()
+	defer cs.Close()
+	defer ls.Close()
+	go func() {
+		_, _ = cs.Write([]byte{0x00, 'X', 'X', 'X', 1})
+	}()
+	if _, err := negotiateInbound(ls, bufio.NewReader(ls), wire.Binary(), time.Second); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// A preamble offering version 0 is a protocol violation (v0 senders send
+	// no preamble at all).
+	cs2, ls2 := net.Pipe()
+	defer cs2.Close()
+	defer ls2.Close()
+	go func() {
+		_, _ = cs2.Write([]byte{0x00, 'D', 'Q', 'X', 0})
+	}()
+	if _, err := negotiateInbound(ls2, bufio.NewReader(ls2), wire.Binary(), time.Second); err == nil {
+		t.Error("version-0 preamble accepted")
+	}
+
+	// Silence must time out, not hang the read loop forever.
+	cs3, ls3 := net.Pipe()
+	defer cs3.Close()
+	defer ls3.Close()
+	start := time.Now()
+	if _, err := negotiateInbound(ls3, bufio.NewReader(ls3), wire.Binary(), 50*time.Millisecond); err == nil {
+		t.Error("silent connection accepted")
+	} else if time.Since(start) > 2*time.Second {
+		t.Error("handshake timeout did not bound the wait")
+	}
+}
+
+// newTCPClusterWithCodecs builds an n-peer TCP cluster where peer i uses
+// codecs[i], using the two-pass ephemeral-port wiring from TestTCPCluster.
+func newTCPClusterWithCodecs(t *testing.T, codecs []wire.Codec) []*TCPPeer {
+	t.Helper()
+	n := len(codecs)
+	alg := core.Algorithm{Construction: coterie.Majority{}}
+	sites, err := alg.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make(map[mutex.SiteID]string, n)
+	peers := make([]*TCPPeer, n)
+	for i := 0; i < n; i++ {
+		p, err := NewTCPPeer(sites[i], "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		addrs[mutex.SiteID(i)] = p.Addr()
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+	sites, err = alg.NewSites(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		book := make(map[mutex.SiteID]string, n-1)
+		for j, a := range addrs {
+			if int(j) != i {
+				book[j] = a
+			}
+		}
+		site := sites[i]
+		p, err := NewTCPPeerConfig(TCPConfig{
+			Self:       site.ID(),
+			Factory:    func(string) (mutex.Site, error) { return site, nil },
+			ListenAddr: addrs[mutex.SiteID(i)],
+			Peers:      book,
+			Wire:       WireConfig{Codec: codecs[i]},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	t.Cleanup(func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	})
+	return peers
+}
+
+// TestMixedVersionInterop runs the delay-optimal protocol across a cluster
+// where site 0 is pinned to the v0 gob codec and sites 1-2 run the default
+// v1 binary codec: every pairwise connection handshakes down to a common
+// version and every site still acquires and releases the lock.
+func TestMixedVersionInterop(t *testing.T) {
+	peers := newTCPClusterWithCodecs(t, []wire.Codec{wire.Gob(), wire.Binary(), wire.Binary()})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Several rounds so traffic crosses every mixed-version pair repeatedly
+	// in both directions (gob→binary and binary→gob).
+	for round := 0; round < 3; round++ {
+		for i, p := range peers {
+			if err := p.Node().Acquire(ctx); err != nil {
+				t.Fatalf("round %d: site %d acquire: %v", round, i, err)
+			}
+			if err := p.Node().Release(); err != nil {
+				t.Fatalf("round %d: site %d release: %v", round, i, err)
+			}
+		}
+	}
+}

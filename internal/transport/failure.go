@@ -1,13 +1,13 @@
 package transport
 
 import (
-	"encoding/gob"
 	"math/rand"
 	"sync"
 	"time"
 
 	"dqmx/internal/mutex"
 	"dqmx/internal/resource"
+	"dqmx/internal/wire"
 )
 
 // heartbeatMsg is the liveness probe exchanged by peers running a failure
@@ -24,13 +24,22 @@ func (heartbeatMsg) Kind() string { return "heartbeat" }
 // is a question about now; re-asking it later is a new probe).
 func (heartbeatMsg) transportMessage() {}
 
-// RegisterGobMessages registers the transport's own wire messages. TCP
-// deployments using the failure detector must call it (in addition to the
-// algorithm's registration).
-func RegisterGobMessages() {
-	gob.Register(heartbeatMsg{})
-	gob.Register(mutex.FailureMsg{})
+func init() {
+	wire.RegisterMessage(wire.TagHeartbeat, heartbeatMsg{},
+		func(b []byte, m mutex.Message) []byte {
+			return wire.AppendSite(b, m.(heartbeatMsg).From)
+		},
+		func(r *wire.Reader) (mutex.Message, error) {
+			return heartbeatMsg{From: r.Site()}, nil
+		})
 }
+
+// RegisterGobMessages is a no-op kept for source compatibility.
+//
+// Deprecated: the transport's wire messages (and mutex.FailureMsg) register
+// themselves with both codecs when this package is imported; there is no
+// longer a separate registration step to perform.
+func RegisterGobMessages() {}
 
 // KillSite simulates a crash in an in-process cluster: every protocol
 // instance hosted at the site — the default resource and all named locks —

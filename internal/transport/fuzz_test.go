@@ -1,51 +1,58 @@
 package transport
 
 // White-box fuzzing of the TCP read path's frame decoding: whatever bytes a
-// peer (or an attacker holding the port) sends, decodeWireEnvelope must
-// return an error — never panic the reader goroutine.
+// peer (or an attacker holding the port) sends, the wire decoders must
+// return an error — never panic the reader goroutine. Every input runs
+// through both codecs, since an attacker controls which decoder a
+// connection gets (the handshake trusts the first byte).
 
 import (
 	"bytes"
-	"encoding/gob"
 	"testing"
 
-	"dqmx/internal/core"
+	_ "dqmx/internal/core" // registers the protocol's wire messages
 	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
 )
 
-// fuzzSeeds produces valid single- and multi-frame gob streams to seed the
-// corpus, so the fuzzer mutates realistic wire traffic rather than noise.
+// fuzzEnvelopes is realistic wire traffic for seeding: transport-level
+// messages, sequenced reliability frames, and a standalone cumulative ack.
+func fuzzEnvelopes() [][]mutex.Envelope {
+	return [][]mutex.Envelope{
+		{{From: 1, To: 2, Msg: heartbeatMsg{From: 1}}},
+		{{Resource: "orders", From: 3, To: 0, Msg: mutex.FailureMsg{Failed: 5}}},
+		{
+			{From: 0, To: 1, Msg: heartbeatMsg{From: 0}},
+			{From: 1, To: 0, Msg: mutex.FailureMsg{Failed: 2}},
+		},
+		{{Resource: "orders", From: 2, To: 4, Msg: mutex.FailureMsg{Failed: 1}, Seq: 7, Ack: 3}},
+		{{From: 4, To: 2, Ack: 9}},
+		{
+			{From: 0, To: 1, Msg: mutex.FailureMsg{Failed: 3}, Seq: 1},
+			{From: 1, To: 0, Ack: 1},
+			{From: 0, To: 1, Msg: mutex.FailureMsg{Failed: 3}, Seq: 2, Ack: 5},
+		},
+	}
+}
+
+// fuzzSeeds encodes the seed traffic through both codecs, so the fuzzer
+// mutates realistic gob and binary streams rather than noise.
 func fuzzSeeds(t testing.TB) [][]byte {
 	t.Helper()
-	core.RegisterGobMessages()
-	RegisterGobMessages()
 	var seeds [][]byte
-	encode := func(envs ...wireEnvelope) {
-		var buf bytes.Buffer
-		enc := gob.NewEncoder(&buf)
-		for _, we := range envs {
-			if err := enc.Encode(we); err != nil {
-				t.Fatalf("encode seed: %v", err)
+	for _, c := range []wire.Codec{wire.Gob(), wire.Binary()} {
+		for _, envs := range fuzzEnvelopes() {
+			var buf bytes.Buffer
+			enc := c.NewEncoder(&buf)
+			for _, env := range envs {
+				if err := enc.Encode(env); err != nil {
+					t.Fatalf("%s: encode seed: %v", c.Name(), err)
+				}
 			}
+			closeCodec(enc)
+			seeds = append(seeds, buf.Bytes())
 		}
-		seeds = append(seeds, buf.Bytes())
 	}
-	encode(wireEnvelope{From: 1, To: 2, Msg: heartbeatMsg{From: 1}})
-	encode(wireEnvelope{Resource: "orders", From: 3, To: 0, Msg: mutex.FailureMsg{Failed: 5}})
-	encode(
-		wireEnvelope{From: 0, To: 1, Msg: heartbeatMsg{From: 0}},
-		wireEnvelope{From: 1, To: 0, Msg: mutex.FailureMsg{Failed: 2}},
-	)
-	// Sequenced frames as the reliable-delivery sublayer emits them: a
-	// payload with seq/ack metadata, and a standalone cumulative ack (no
-	// payload at all).
-	encode(wireEnvelope{Resource: "orders", From: 2, To: 4, Msg: mutex.FailureMsg{Failed: 1}, Seq: 7, Ack: 3})
-	encode(wireEnvelope{From: 4, To: 2, Ack: 9})
-	encode(
-		wireEnvelope{From: 0, To: 1, Msg: mutex.FailureMsg{Failed: 3}, Seq: 1},
-		wireEnvelope{From: 1, To: 0, Ack: 1},
-		wireEnvelope{From: 0, To: 1, Msg: mutex.FailureMsg{Failed: 3}, Seq: 2, Ack: 5},
-	)
 	return seeds
 }
 
@@ -61,14 +68,17 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		dec := gob.NewDecoder(bytes.NewReader(data))
-		// Decode a few frames like the read loop would; any error ends the
-		// connection, and a panic escaping decodeWireEnvelope fails the fuzz
-		// run by crashing the process.
-		for i := 0; i < 4; i++ {
-			if _, err := decodeWireEnvelope(dec); err != nil {
-				break
+		for _, c := range []wire.Codec{wire.Gob(), wire.Binary()} {
+			dec := c.NewDecoder(bytes.NewReader(data))
+			// Decode a few frames like the read loop would; any error ends
+			// the connection, and a panic escaping Decode fails the fuzz run
+			// by crashing the process.
+			for i := 0; i < 4; i++ {
+				if _, err := dec.Decode(); err != nil {
+					break
+				}
 			}
+			closeCodec(dec)
 		}
 	})
 }
@@ -84,49 +94,48 @@ func FuzzAckFrameDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		rel := newReliable(func(env mutex.Envelope) error { return nil }, nil)
-		rel.start(senderFunc(func(env mutex.Envelope) error { return nil }))
-		defer rel.Close()
-		dec := gob.NewDecoder(bytes.NewReader(data))
-		for i := 0; i < 8; i++ {
-			we, err := decodeWireEnvelope(dec)
-			if err != nil {
-				break
+		for _, c := range []wire.Codec{wire.Gob(), wire.Binary()} {
+			rel := newReliable(func(env mutex.Envelope) error { return nil }, nil)
+			rel.start(senderFunc(func(env mutex.Envelope) error { return nil }))
+			dec := c.NewDecoder(bytes.NewReader(data))
+			for i := 0; i < 8; i++ {
+				env, err := dec.Decode()
+				if err != nil {
+					break
+				}
+				if err := rel.Receive(env); err != nil {
+					break
+				}
 			}
-			if err := rel.Receive(mutex.Envelope{
-				Resource: we.Resource,
-				From:     we.From,
-				To:       we.To,
-				Msg:      we.Msg,
-				Seq:      we.Seq,
-				Ack:      we.Ack,
-			}); err != nil {
-				break
+			closeCodec(dec)
+			// The endpoint must remain usable after hostile input.
+			if err := rel.Send(mutex.Envelope{From: 100, To: 101, Msg: mutex.FailureMsg{Failed: 1}}); err != nil {
+				t.Fatalf("%s: endpoint wedged after fuzzed input: %v", c.Name(), err)
 			}
-		}
-		// The endpoint must remain usable after hostile input.
-		if err := rel.Send(mutex.Envelope{From: 100, To: 101, Msg: mutex.FailureMsg{Failed: 1}}); err != nil {
-			t.Fatalf("endpoint wedged after fuzzed input: %v", err)
+			rel.Close()
 		}
 	})
 }
 
-// TestDecodeWireEnvelopeTruncated pins the non-fuzz guarantee: truncated and
-// garbage frames error out without panicking.
-func TestDecodeWireEnvelopeTruncated(t *testing.T) {
+// TestDecodeTruncated pins the non-fuzz guarantee: truncated and garbage
+// frames error out of both decoders without panicking.
+func TestDecodeTruncated(t *testing.T) {
 	for _, seed := range fuzzSeeds(t) {
 		for cut := 0; cut < len(seed); cut += 1 + len(seed)/16 {
-			dec := gob.NewDecoder(bytes.NewReader(seed[:cut]))
-			for {
-				if _, err := decodeWireEnvelope(dec); err != nil {
-					break
+			for _, c := range []wire.Codec{wire.Gob(), wire.Binary()} {
+				dec := c.NewDecoder(bytes.NewReader(seed[:cut]))
+				for i := 0; i < 16; i++ {
+					if _, err := dec.Decode(); err != nil {
+						break
+					}
 				}
+				closeCodec(dec)
 			}
 		}
 	}
-	dec := gob.NewDecoder(bytes.NewReader([]byte{0x07, 0xff, 0x81, 0x03, 0x01, 0x01}))
+	dec := wire.Gob().NewDecoder(bytes.NewReader([]byte{0x07, 0xff, 0x81, 0x03, 0x01, 0x01}))
 	for i := 0; i < 4; i++ {
-		if _, err := decodeWireEnvelope(dec); err != nil {
+		if _, err := dec.Decode(); err != nil {
 			return
 		}
 	}

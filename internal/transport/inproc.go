@@ -28,25 +28,32 @@ func (s inprocSender) Send(env mutex.Envelope) error {
 	return mgr.Inject(env)
 }
 
-// SendBatch implements BatchSender: envelopes are grouped into consecutive
-// same-destination runs and each run is injected as one batch.
+// SendBatch implements BatchSender with cross-destination coalescing: ALL of
+// a destination's envelopes in the batch — not just consecutive runs — are
+// injected as one batch under one mailbox lock, preserving per-destination
+// order. Interleaved destinations (a multi-resource step fanning out to the
+// same quorum) therefore cost one injection per destination.
 func (s inprocSender) SendBatch(envs []mutex.Envelope) error {
 	var firstErr error
-	for start := 0; start < len(envs); {
-		end := start + 1
-		for end < len(envs) && envs[end].To == envs[start].To {
-			end++
-		}
-		mgr := s.cluster.manager(envs[start].To)
+	var group []mutex.Envelope
+	forEachDestination(envs, func(dest mutex.SiteID) {
+		mgr := s.cluster.manager(dest)
 		if mgr == nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("transport: no node for site %d", envs[start].To)
+				firstErr = fmt.Errorf("transport: no node for site %d", dest)
 			}
-		} else if err := mgr.InjectBatch(envs[start:end]); err != nil && firstErr == nil {
+			return
+		}
+		group = group[:0]
+		for _, env := range envs {
+			if env.To == dest {
+				group = append(group, env)
+			}
+		}
+		if err := mgr.InjectBatch(group); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		start = end
-	}
+	})
 	return firstErr
 }
 

@@ -407,8 +407,8 @@ func TestTCPReliableUnderDrops(t *testing.T) {
 	for _, p := range peers {
 		var mu sync.Mutex
 		var nth int
-		p.setDropHook(func(we wireEnvelope) bool {
-			if we.Seq == 0 {
+		p.setDropHook(func(env mutex.Envelope) bool {
+			if env.Seq == 0 {
 				return false
 			}
 			mu.Lock()

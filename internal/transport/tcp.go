@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bufio"
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -11,18 +10,7 @@ import (
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
 	"dqmx/internal/resource"
-)
-
-// Reconnect policy for broken outbound connections: a bounded
-// exponential-backoff dial loop, so a transient peer restart is absorbed by
-// the transport instead of surfacing as a protocol error. The total retry
-// window is ~1.3s of backoff plus dial timeouts; a peer silent for longer is
-// the failure detector's problem, not the sender's.
-const (
-	dialTimeout       = 5 * time.Second
-	reconnectAttempts = 6
-	reconnectBase     = 25 * time.Millisecond
-	reconnectMax      = 500 * time.Millisecond
+	"dqmx/internal/wire"
 )
 
 // TCPConfig configures a TCP peer.
@@ -43,38 +31,40 @@ type TCPConfig struct {
 	Observer obs.Sink
 	// Policy bounds named-lock resource names.
 	Policy resource.Policy
-	// LinkDelay, when positive, holds every outbound batch for that long
-	// before it reaches the wire — a deterministic per-hop latency for
-	// benchmarking on loopback, where the real network delay is too small
-	// and too noisy to separate a T handover from a 2T one. It delays
-	// whole batches, not bytes: queueing ahead of the sleep still
-	// coalesces, so it models link latency, not bandwidth.
+	// Wire configures the byte layer: codec, link delay, reconnect policy.
+	Wire WireConfig
+	// LinkDelay is a deprecated alias for Wire.LinkDelay.
+	//
+	// Deprecated: set Wire.LinkDelay. When both are set, Wire.LinkDelay
+	// wins.
 	LinkDelay time.Duration
 }
 
 // TCPPeer hosts one site of a cluster spread across processes or machines
-// and multiplexes any number of named locks over it. Envelopes travel as gob
-// streams over one outbound TCP connection per destination; a dedicated
-// writer goroutine per destination preserves the protocol's per-channel FIFO
-// requirement and coalesces envelopes queued by different resources into one
-// buffered write, so adding locks does not multiply syscalls. Algorithms
-// must register their message types with encoding/gob first
-// (core.RegisterGobMessages does this for the delay-optimal protocol).
+// and multiplexes any number of named locks over it. Envelopes travel as
+// framed codec streams (wire v1 binary by default, negotiated per connection
+// at handshake) over one outbound TCP connection per destination; a
+// dedicated writer goroutine per destination preserves the protocol's
+// per-channel FIFO requirement and coalesces envelopes queued by different
+// resources and different destinations' interleavings into one buffered
+// write, so adding locks does not multiply syscalls. Message types register
+// themselves with internal/wire when their protocol package is imported —
+// there is no separate registration step.
 type TCPPeer struct {
-	self      mutex.SiteID
-	manager   *resource.Manager
-	node      *Node     // default-resource instance, kept for the legacy Node API
-	rel       *reliable // the reliable-delivery sublayer over the raw writers
-	listener  net.Listener
-	peers     map[mutex.SiteID]string
-	metrics   *obs.Metrics // nil unless metrics collection was requested
-	linkDelay time.Duration
+	self     mutex.SiteID
+	manager  *resource.Manager
+	node     *Node     // default-resource instance, kept for the legacy Node API
+	rel      *reliable // the reliable-delivery sublayer over the raw writers
+	listener net.Listener
+	peers    map[mutex.SiteID]string
+	metrics  *obs.Metrics // nil unless metrics collection was requested
+	wire     WireConfig   // resolved byte-layer configuration
 
 	mu      sync.Mutex
 	outs    map[mutex.SiteID]*outbound
 	inbound map[net.Conn]bool
-	hbSink  *Detector                  // set by StartDetector; receives heartbeat traffic
-	dropOut func(we wireEnvelope) bool // test hook: writer-side deterministic frame drops
+	hbSink  *Detector                     // set by StartDetector; receives heartbeat traffic
+	dropOut func(env mutex.Envelope) bool // test hook: writer-side deterministic frame drops
 
 	stopOnce sync.Once
 	stopC    chan struct{}
@@ -117,19 +107,22 @@ func NewTCPPeerObserved(site mutex.Site, listenAddr string, peers map[mutex.Site
 
 // NewTCPPeerConfig starts a multi-resource peer with explicit configuration.
 func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
+	if cfg.Wire.LinkDelay == 0 {
+		cfg.Wire.LinkDelay = cfg.LinkDelay // deprecated-field shim
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 	}
 	p := &TCPPeer{
-		self:      cfg.Self,
-		listener:  ln,
-		peers:     make(map[mutex.SiteID]string, len(cfg.Peers)),
-		metrics:   cfg.Metrics,
-		linkDelay: cfg.LinkDelay,
-		outs:      make(map[mutex.SiteID]*outbound),
-		inbound:   make(map[net.Conn]bool),
-		stopC:     make(chan struct{}),
+		self:     cfg.Self,
+		listener: ln,
+		peers:    make(map[mutex.SiteID]string, len(cfg.Peers)),
+		metrics:  cfg.Metrics,
+		wire:     cfg.Wire.withDefaults(),
+		outs:     make(map[mutex.SiteID]*outbound),
+		inbound:  make(map[net.Conn]bool),
+		stopC:    make(chan struct{}),
 	}
 	for id, addr := range cfg.Peers {
 		p.peers[id] = addr
@@ -199,22 +192,6 @@ func (p *TCPPeer) Node() *Node { return p.node }
 // Addr returns the peer's actual listen address (useful with ":0").
 func (p *TCPPeer) Addr() string { return p.listener.Addr().String() }
 
-// wireEnvelope is the on-the-wire representation. Resource scopes the
-// envelope to one named lock; Seq and Ack carry the reliability sublayer's
-// stream position and cumulative acknowledgement. gob omits every
-// zero-valued field, so single-lock unsequenced traffic is byte-compatible
-// with the pre-resource wire format in both directions (an old peer decodes
-// sequenced frames too — it just never acks them, which is why mixed
-// deployments are unsupported for protocol traffic; see PROTOCOL.md).
-type wireEnvelope struct {
-	Resource string
-	From     mutex.SiteID
-	To       mutex.SiteID
-	Msg      mutex.Message
-	Seq      uint64
-	Ack      uint64
-}
-
 // Send implements Sender: the envelope passes through the reliability
 // sublayer (sequencing, retransmission) and is queued on the destination's
 // outbound writer. An error means the destination is unknown or the peer is
@@ -223,8 +200,8 @@ func (p *TCPPeer) Send(env mutex.Envelope) error {
 	return p.rel.Send(env)
 }
 
-// SendBatch implements BatchSender: consecutive same-destination runs are
-// queued in one operation and leave in one buffered write.
+// SendBatch implements BatchSender: each destination's envelopes are queued
+// in one operation and leave in one buffered write.
 func (p *TCPPeer) SendBatch(envs []mutex.Envelope) error {
 	return p.rel.SendBatch(envs)
 }
@@ -245,25 +222,45 @@ func (w tcpWire) Send(env mutex.Envelope) error {
 	return nil
 }
 
-// SendBatch implements BatchSender.
+// SendBatch implements BatchSender with cross-resource, cross-position
+// coalescing: ALL of a destination's envelopes in the batch — not just
+// consecutive runs — are queued under one lock acquisition and leave in one
+// buffered write, so a multi-resource batch that interleaves destinations
+// still costs one enqueue per destination. Per-destination FIFO order is
+// preserved (the scan keeps each destination's relative order intact).
 func (w tcpWire) SendBatch(envs []mutex.Envelope) error {
 	var firstErr error
-	for start := 0; start < len(envs); {
-		end := start + 1
-		for end < len(envs) && envs[end].To == envs[start].To {
-			end++
-		}
-		o, err := w.peer.outboundFor(envs[start].To)
+	forEachDestination(envs, func(dest mutex.SiteID) {
+		o, err := w.peer.outboundFor(dest)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-		} else {
-			o.enqueue(envs[start:end])
+			return
 		}
-		start = end
-	}
+		o.enqueueFor(envs, dest)
+	})
 	return firstErr
+}
+
+// forEachDestination calls fn once per distinct destination in envs, in
+// first-appearance order, without allocating. Batches are small (bounded by
+// the quorum size times the node's per-step fan-out), so the quadratic
+// first-occurrence scan stays cheaper than building a map.
+func forEachDestination(envs []mutex.Envelope, fn func(dest mutex.SiteID)) {
+	for i := range envs {
+		dest := envs[i].To
+		seen := false
+		for j := 0; j < i; j++ {
+			if envs[j].To == dest {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			fn(dest)
+		}
+	}
 }
 
 // outboundFor returns the destination's writer, starting it on first use.
@@ -302,24 +299,35 @@ type outbound struct {
 	addr string
 
 	mu     sync.Mutex
-	queue  []wireEnvelope
-	spare  []wireEnvelope // drained batch recycled as the next queue backing
+	queue  []mutex.Envelope
+	spare  []mutex.Envelope // drained batch recycled as the next queue backing
 	notify chan struct{}
 
 	// conn is guarded by mu so Close can abort a blocked write from outside
 	// the writer goroutine; bw and enc are owned by the writer alone.
 	conn net.Conn
 	bw   *bufio.Writer
-	enc  *gob.Encoder
+	enc  wire.Encoder
 }
 
 func (o *outbound) enqueue(envs []mutex.Envelope) {
 	o.mu.Lock()
+	o.queue = append(o.queue, envs...)
+	o.mu.Unlock()
+	select {
+	case o.notify <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueFor queues every envelope of the batch addressed to dest — the
+// whole selection under one lock acquisition, one wakeup.
+func (o *outbound) enqueueFor(envs []mutex.Envelope, dest mutex.SiteID) {
+	o.mu.Lock()
 	for _, env := range envs {
-		o.queue = append(o.queue, wireEnvelope{
-			Resource: env.Resource, From: env.From, To: env.To,
-			Msg: env.Msg, Seq: env.Seq, Ack: env.Ack,
-		})
+		if env.To == dest {
+			o.queue = append(o.queue, env)
+		}
 	}
 	o.mu.Unlock()
 	select {
@@ -356,7 +364,7 @@ func (o *outbound) run() {
 			// Drop the envelope contents (Msg holds pointers) before
 			// recycling, so the spare buffer never pins protocol messages.
 			for i := range batch {
-				batch[i] = wireEnvelope{}
+				batch[i] = mutex.Envelope{}
 			}
 			o.mu.Lock()
 			o.spare = batch[:0]
@@ -369,11 +377,11 @@ func (o *outbound) run() {
 // A batch that cannot be delivered within the reconnect budget is dropped:
 // the reliability sublayer retransmits sequenced traffic, and a peer gone
 // for good is the failure protocol's to report.
-func (o *outbound) write(batch []wireEnvelope) {
+func (o *outbound) write(batch []mutex.Envelope) {
 	o.peer.mu.Lock()
 	drop := o.peer.dropOut
 	o.peer.mu.Unlock()
-	if d := o.peer.linkDelay; d > 0 {
+	if d := o.peer.wire.LinkDelay; d > 0 {
 		select {
 		case <-time.After(d):
 		case <-o.peer.stopC:
@@ -385,11 +393,11 @@ func (o *outbound) write(batch []wireEnvelope) {
 			return
 		}
 		ok := true
-		for _, we := range batch {
-			if drop != nil && drop(we) {
+		for _, env := range batch {
+			if drop != nil && drop(env) {
 				continue // test hook: simulate wire loss at the writer
 			}
-			if err := o.enc.Encode(we); err != nil {
+			if err := o.enc.Encode(env); err != nil {
 				ok = false
 				break
 			}
@@ -401,8 +409,9 @@ func (o *outbound) write(batch []wireEnvelope) {
 	}
 }
 
-// ensureConn dials the destination with bounded exponential backoff. It
-// reports false when the budget is exhausted or the peer is shutting down.
+// ensureConn dials the destination with bounded exponential backoff and runs
+// the codec handshake on the fresh connection. It reports false when the
+// budget is exhausted or the peer is shutting down.
 func (o *outbound) ensureConn() bool {
 	select {
 	case <-o.peer.stopC:
@@ -415,24 +424,31 @@ func (o *outbound) ensureConn() bool {
 	if connected {
 		return true
 	}
-	delay := reconnectBase
-	for attempt := 0; attempt < reconnectAttempts; attempt++ {
-		conn, err := net.DialTimeout("tcp", o.addr, dialTimeout)
+	wcfg := o.peer.wire
+	delay := wcfg.ReconnectBase
+	for attempt := 0; attempt < wcfg.ReconnectAttempts; attempt++ {
+		conn, err := net.DialTimeout("tcp", o.addr, wcfg.DialTimeout)
 		if err == nil {
-			o.mu.Lock()
-			o.conn = conn
-			o.mu.Unlock()
 			if o.bw == nil {
 				o.bw = bufio.NewWriter(conn)
 			} else {
 				o.bw.Reset(conn) // recycle the write buffer across reconnects
 			}
-			// The encoder cannot be reused: gob sends type descriptors once
-			// per stream, and a new connection is a new stream.
-			o.enc = gob.NewEncoder(o.bw)
-			return true
+			// Encoders carry per-stream state (gob's type descriptors, the
+			// binary codec's interning table), so each connection gets a
+			// fresh one for the version the handshake lands on.
+			enc, herr := negotiateOutbound(conn, o.bw, wcfg.Codec, wcfg.DialTimeout)
+			if herr == nil {
+				o.mu.Lock()
+				o.conn = conn
+				o.mu.Unlock()
+				o.enc = enc
+				return true
+			}
+			_ = conn.Close()
+			o.bw.Reset(nil)
 		}
-		if attempt == reconnectAttempts-1 {
+		if attempt == wcfg.ReconnectAttempts-1 {
 			break
 		}
 		select {
@@ -441,8 +457,8 @@ func (o *outbound) ensureConn() bool {
 			return false
 		}
 		delay *= 2
-		if delay > reconnectMax {
-			delay = reconnectMax
+		if delay > wcfg.ReconnectMax {
+			delay = wcfg.ReconnectMax
 		}
 	}
 	return false
@@ -456,8 +472,9 @@ func (o *outbound) closeConn() {
 	if conn != nil {
 		_ = conn.Close()
 	}
-	// The encoder dies with its stream; the bufio.Writer survives and is
-	// Reset onto the next connection.
+	// The encoder dies with its stream (its pooled scratch goes back); the
+	// bufio.Writer survives and is Reset onto the next connection.
+	closeCodec(o.enc)
 	o.enc = nil
 	if o.bw != nil {
 		o.bw.Reset(nil)
@@ -496,20 +513,10 @@ func (p *TCPPeer) acceptLoop() {
 	}
 }
 
-// decodeWireEnvelope decodes one frame from the stream. Malformed or
-// truncated input must surface as an error, never kill the reader: gob's
-// decoder is not hardened against hostile bytes and can panic on
-// pathological inputs, so panics are converted into errors here.
-func decodeWireEnvelope(dec *gob.Decoder) (we wireEnvelope, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("transport: decode envelope: %v", r)
-		}
-	}()
-	err = dec.Decode(&we)
-	return we, err
-}
-
+// readLoop negotiates the connection's wire version, then decodes frames
+// until the stream dies. It is codec-agnostic: everything
+// version-dependent — sniffing legacy gob streams, hardening against
+// hostile bytes — lives behind the wire.Decoder returned by the handshake.
 func (p *TCPPeer) readLoop(conn net.Conn) {
 	defer p.wg.Done()
 	defer func() {
@@ -518,19 +525,20 @@ func (p *TCPPeer) readLoop(conn net.Conn) {
 		delete(p.inbound, conn)
 		p.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	dec, err := negotiateInbound(conn, bufio.NewReader(conn), p.wire.Codec, p.wire.DialTimeout)
+	if err != nil {
+		return
+	}
+	defer closeCodec(dec)
 	for {
-		we, err := decodeWireEnvelope(dec)
+		env, err := dec.Decode()
 		if err != nil {
 			return
 		}
 		// Everything funnels through the reliability sublayer: it consumes
 		// acks, suppresses duplicates, reorders sequenced traffic, and hands
 		// exactly-once deliveries to dispatch.
-		_ = p.rel.Receive(mutex.Envelope{
-			Resource: we.Resource, From: we.From, To: we.To,
-			Msg: we.Msg, Seq: we.Seq, Ack: we.Ack,
-		})
+		_ = p.rel.Receive(env)
 	}
 }
 
@@ -559,7 +567,7 @@ func (p *TCPPeer) dispatch(env mutex.Envelope) error {
 // frame before it reaches the wire). Test-only: it simulates deterministic
 // message loss so the reliability sublayer's recovery is assertable over
 // real connections.
-func (p *TCPPeer) setDropHook(drop func(we wireEnvelope) bool) {
+func (p *TCPPeer) setDropHook(drop func(env mutex.Envelope) bool) {
 	p.mu.Lock()
 	p.dropOut = drop
 	p.mu.Unlock()

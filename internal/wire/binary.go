@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dqmx/internal/mutex"
+)
+
+// Binary wire format, version 1. One frame per envelope:
+//
+//	uvarint  payload length (bytes that follow; 1..maxFrame)
+//	payload:
+//	  uvarint  resource code: 0 = default resource, 1 = literal (uvarint
+//	           length + bytes, appended to the connection's interning table),
+//	           k ≥ 2 = interning-table entry k−2
+//	  varint   From (zigzag)
+//	  varint   To (zigzag)
+//	  uvarint  Seq
+//	  uvarint  Ack
+//	  byte     message tag (0 = nil payload: a standalone ack frame)
+//	  ...      the registered message encoding for that tag
+//
+// All integers are little-endian base-128 varints (encoding/binary). The
+// interning table is per-connection state built identically on both sides
+// from the literal escapes, so a named lock's resource string crosses the
+// wire once per connection instead of once per message. PROTOCOL.md "Wire
+// format v1" documents the layout normatively.
+
+const (
+	// maxFrame bounds one frame's payload so a hostile length prefix cannot
+	// force a giant allocation. Generous against real traffic: the largest
+	// legitimate payload (a suzuki-kasami token at N=4096) stays far under it.
+	maxFrame = 1 << 20
+	// maxInternedNames bounds the per-connection interning table; a sender
+	// that overflows it (thousands of distinct resource names on one
+	// connection) gets a stream error, not unbounded receiver memory.
+	maxInternedNames = 1 << 12
+)
+
+// binaryCodec is the stateless wire-v1 codec.
+type binaryCodec struct{}
+
+// Binary returns the wire-v1 binary codec.
+func Binary() Codec { return binaryCodec{} }
+
+// Name implements Codec.
+func (binaryCodec) Name() string { return NameBinary }
+
+// Version implements Codec.
+func (binaryCodec) Version() byte { return VersionBinary }
+
+// NewEncoder implements Codec.
+func (binaryCodec) NewEncoder(w io.Writer) Encoder {
+	return &binaryEncoder{w: w, buf: getBuf(), names: make(map[string]uint64)}
+}
+
+// NewDecoder implements Codec.
+func (binaryCodec) NewDecoder(r io.Reader) Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &binaryDecoder{r: br, buf: getBuf()}
+}
+
+// binaryEncoder encodes frames into a reused scratch buffer and writes them
+// to w (the transport's bufio.Writer). Steady state allocates nothing: the
+// scratch grows to the high-water frame size once, and interned names are
+// map hits after their first appearance.
+type binaryEncoder struct {
+	w     io.Writer
+	buf   *[]byte
+	names map[string]uint64
+	// lenBuf is scratch for the frame length prefix. A local array would
+	// escape to the heap through the io.Writer interface call; as a field it
+	// costs one allocation for the encoder's whole lifetime.
+	lenBuf [binary.MaxVarintLen64]byte
+}
+
+// Encode implements Encoder.
+func (e *binaryEncoder) Encode(env mutex.Envelope) error {
+	if e.buf == nil {
+		return errors.New("wire: encoder is closed")
+	}
+	b := (*e.buf)[:0]
+	b, newName, err := e.appendResource(b, env.Resource)
+	if err != nil {
+		return err
+	}
+	b = AppendSite(b, env.From)
+	b = AppendSite(b, env.To)
+	b = AppendUint(b, env.Seq)
+	b = AppendUint(b, env.Ack)
+	b, err = appendMessage(b, env.Msg)
+	*e.buf = b // keep the grown backing array either way
+	if err != nil {
+		return err
+	}
+	if len(b) > maxFrame {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(b), maxFrame)
+	}
+	// Commit the interning entry only once the frame is certain to reach the
+	// writer: an encode error above must not leave the table ahead of what
+	// the decoder has seen. (A failed Write tears the connection — and this
+	// encoder — down, so partial writes cannot desynchronize a live stream.)
+	if newName != "" {
+		e.names[newName] = uint64(len(e.names)) + 2
+	}
+	n := binary.PutUvarint(e.lenBuf[:], uint64(len(b)))
+	if _, err := e.w.Write(e.lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err = e.w.Write(b)
+	return err
+}
+
+// appendResource emits the resource's interning code, using the literal
+// escape on a name's first appearance. A new name is returned rather than
+// committed: Encode adds it to the table only when the frame goes out.
+func (e *binaryEncoder) appendResource(b []byte, name string) ([]byte, string, error) {
+	if name == "" {
+		return append(b, 0), "", nil
+	}
+	if id, ok := e.names[name]; ok {
+		return AppendUint(b, id), "", nil
+	}
+	if len(e.names) >= maxInternedNames {
+		return b, "", fmt.Errorf("wire: interning table full (%d names on one connection)", maxInternedNames)
+	}
+	b = append(b, 1)
+	return AppendString(b, name), name, nil
+}
+
+// Close implements io.Closer: the scratch buffer returns to the pool. The
+// encoder is unusable afterwards.
+func (e *binaryEncoder) Close() error {
+	putBuf(e.buf)
+	e.buf = nil
+	return nil
+}
+
+// binaryDecoder reads frames into a reused scratch buffer and parses them in
+// place. Its interning table mirrors the peer encoder's, entry for entry,
+// because both sides process the same frames in the same stream order.
+type binaryDecoder struct {
+	r     *bufio.Reader
+	buf   *[]byte
+	names []string
+}
+
+// Decode implements Decoder.
+func (d *binaryDecoder) Decode() (mutex.Envelope, error) {
+	if d.buf == nil {
+		return mutex.Envelope{}, errors.New("wire: decoder is closed")
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return mutex.Envelope{}, err
+	}
+	if n == 0 || n > maxFrame {
+		return mutex.Envelope{}, fmt.Errorf("wire: frame payload length %d out of range (1..%d)", n, maxFrame)
+	}
+	buf := *d.buf
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*d.buf = buf
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // a frame announced bytes it never sent
+		}
+		return mutex.Envelope{}, err
+	}
+	r := NewReader(buf)
+	var env mutex.Envelope
+	env.Resource = d.readResource(r)
+	env.From = r.Site()
+	env.To = r.Site()
+	env.Seq = r.Uint()
+	env.Ack = r.Uint()
+	msg, err := decodeMessage(r)
+	if err != nil {
+		return mutex.Envelope{}, err
+	}
+	env.Msg = msg
+	if err := r.Err(); err != nil {
+		return mutex.Envelope{}, err
+	}
+	if r.Remaining() != 0 {
+		return mutex.Envelope{}, fmt.Errorf("wire: %d trailing bytes after frame", r.Remaining())
+	}
+	return env, nil
+}
+
+// readResource resolves the frame's resource code against the table.
+func (d *binaryDecoder) readResource(r *Reader) string {
+	code := r.Uint()
+	switch {
+	case r.Err() != nil:
+		return ""
+	case code == 0:
+		return ""
+	case code == 1:
+		name := r.String()
+		if r.Err() != nil {
+			return ""
+		}
+		if name == "" {
+			r.Fail("interned empty resource name")
+			return ""
+		}
+		if len(d.names) >= maxInternedNames {
+			r.Fail("interning table full")
+			return ""
+		}
+		d.names = append(d.names, name)
+		return name
+	default:
+		i := code - 2
+		if i >= uint64(len(d.names)) {
+			r.Fail("resource code %d beyond interning table (%d entries)", code, len(d.names))
+			return ""
+		}
+		return d.names[i]
+	}
+}
+
+// Close implements io.Closer: the scratch buffer returns to the pool. The
+// decoder is unusable afterwards.
+func (d *binaryDecoder) Close() error {
+	putBuf(d.buf)
+	d.buf = nil
+	return nil
+}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// Append-side primitives for the binary codec's field encodings. Message
+// packages use these from their RegisterMessage encode functions; everything
+// bottoms out in the stdlib's varint appenders, so the append path never
+// allocates beyond the destination slice's growth.
+
+// AppendUint appends an unsigned varint.
+func AppendUint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendSite appends a site identifier as a zigzag varint: real sites are
+// small non-negative integers (one byte), and the timestamp.None sentinel
+// (−1) used by release messages still encodes in one byte.
+func AppendSite(b []byte, id mutex.SiteID) []byte {
+	return binary.AppendVarint(b, int64(id))
+}
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendTimestamp appends a request timestamp. A leading flag byte separates
+// the (max, max) sentinel — whose varint encoding would otherwise cost 10+10
+// bytes — from real timestamps, and keeps the zero value distinct from the
+// sentinel on the wire.
+func AppendTimestamp(b []byte, ts timestamp.Timestamp) []byte {
+	if ts.IsMax() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, ts.Seq)
+	return binary.AppendVarint(b, int64(ts.Site))
+}
+
+// Reader parses one binary frame payload with a sticky error: every getter
+// bounds-checks, returns the zero value once the reader has failed, and the
+// frame decoder checks Err once at the end. That keeps hostile input — the
+// bytes come straight off a socket — from panicking a read loop without
+// sprinkling error checks through every message decoder.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps one frame payload.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Err returns the first parse error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Fail records a parse error (used by decoders for semantic violations such
+// as an unknown interning-table index).
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Byte consumes one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.Fail("truncated frame: missing byte")
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+// Uint consumes an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.Fail("truncated or overlong uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int consumes a zigzag varint.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.Fail("truncated or overlong varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Site consumes a site identifier.
+func (r *Reader) Site() mutex.SiteID { return mutex.SiteID(r.Int()) }
+
+// Bool consumes one flag byte; any value other than 0 or 1 is an error, so
+// a canonical encoding has exactly one byte representation.
+func (r *Reader) Bool() bool {
+	switch r.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail("invalid bool byte")
+		return false
+	}
+}
+
+// Len consumes an element count for a length-prefixed sequence whose
+// elements each occupy at least one byte, bounding it by the bytes actually
+// remaining — a hostile count can therefore never force a giant allocation.
+func (r *Reader) Len() int {
+	n := r.Uint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()) {
+		r.Fail("sequence length %d exceeds %d remaining bytes", n, r.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// String consumes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len()
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Timestamp consumes a request timestamp (see AppendTimestamp).
+func (r *Reader) Timestamp() timestamp.Timestamp {
+	switch r.Byte() {
+	case 0:
+		return timestamp.Max
+	case 1:
+		seq := r.Uint()
+		site := r.Site()
+		return timestamp.Timestamp{Seq: seq, Site: site}
+	default:
+		r.Fail("invalid timestamp flag byte")
+		return timestamp.Timestamp{}
+	}
+}
+
+// bufPool recycles frame scratch buffers across encoder/decoder lifetimes
+// (one buffer lives for a whole connection; the pool matters on reconnect
+// churn and for short-lived test streams).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if b != nil {
+		*b = (*b)[:0]
+		bufPool.Put(b)
+	}
+}
