@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos soak fuzz bench bench-smoke bench-codec bench-sim tables fmt
+.PHONY: check vet build test race chaos soak fuzz bench bench-smoke bench-codec bench-sim tables fmt apicheck apibase
 
 # The standard gate: what CI and pre-commit should run. race already runs
 # the full seeded conformance sweep (internal/chaos/sweep) under -race;
 # chaos adds the short fuzz smoke on top, bench-smoke the seconds-long live
-# benchmark conformance check (T-vs-2T A/B on both fabrics).
-check: vet build race chaos bench-smoke
+# benchmark conformance check (T-vs-2T A/B on both fabrics); apicheck fails
+# on any drift of the root package's exported surface from api/dqmx.api.
+check: vet build apicheck race chaos bench-smoke
+
+# Exported-API gate: cmd/apisnap re-derives the root package's surface and
+# diffs it against the checked-in baseline. An intentional API change is a
+# two-step: make the change, then `make apibase` and commit the baseline
+# diff alongside it.
+apicheck:
+	$(GO) run ./cmd/apisnap -check api/dqmx.api
+
+apibase:
+	$(GO) run ./cmd/apisnap -write api/dqmx.api
 
 vet:
 	$(GO) vet ./...

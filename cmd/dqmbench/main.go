@@ -37,7 +37,9 @@ func main() {
 	var (
 		ns        = flag.String("n", "9", "comma-separated cluster sizes")
 		quorums   = flag.String("quorum", "grid", "comma-separated quorum constructions")
-		drivers   = flag.String("driver", "inproc", "comma-separated drivers (inproc, tcp)")
+		drivers   = flag.String("driver", "inproc", "comma-separated drivers (inproc, tcp, service)")
+		clients   = flag.String("clients", "16", "comma-separated leased-client counts (service driver)")
+		lease     = flag.Duration("lease", 0, "session lease TTL (service driver; 0 = default)")
 		protocol  = flag.String("protocol", "delay-optimal", "protocol under test")
 		codec     = flag.String("codec", "", "TCP wire codec (binary, gob; default binary)")
 		resources = flag.Int("resources", 1, "number of named locks")
@@ -62,6 +64,10 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-n: %w", err))
 	}
+	clientCounts, err := parseInts(*clients)
+	if err != nil {
+		fatal(fmt.Errorf("-clients: %w", err))
+	}
 	artifactName := *name
 	if artifactName == "" {
 		if *ab {
@@ -74,48 +80,61 @@ func main() {
 	var runs []*loadgen.Report
 	w := newTable()
 	for _, driver := range splitList(*drivers) {
+		// The service driver sweeps the leased-client count against a fixed
+		// coterie; the site drivers have exactly one population per size.
+		counts := []int{0}
+		if driver == loadgen.DriverService {
+			counts = clientCounts
+		}
 		for _, quorum := range splitList(*quorums) {
 			for _, n := range sizes {
-				cfg := loadgen.Config{
-					Driver:    driver,
-					Protocol:  *protocol,
-					Quorum:    quorum,
-					N:         n,
-					Resources: *resources,
-					Dist:      *dist,
-					ZipfS:     *zipfS,
-					Arrival:   *arrival,
-					Workers:   *workers,
-					Rate:      *rate,
-					Think:     *think,
-					Hold:      *hold,
-					HopDelay:  *hop,
-					Warmup:    *warmup,
-					Measure:   *measure,
-					Seed:      *seed,
-				}
-				if driver == loadgen.DriverTCP {
-					cfg.Codec = *codec
-				}
-				if *ab {
-					res, err := loadgen.RunAB(cfg)
-					if err != nil {
-						fatal(err)
+				for _, nClients := range counts {
+					cfg := loadgen.Config{
+						Driver:    driver,
+						Protocol:  *protocol,
+						Quorum:    quorum,
+						N:         n,
+						Clients:   nClients,
+						Resources: *resources,
+						Dist:      *dist,
+						ZipfS:     *zipfS,
+						Arrival:   *arrival,
+						Workers:   *workers,
+						Rate:      *rate,
+						Think:     *think,
+						Hold:      *hold,
+						HopDelay:  *hop,
+						Warmup:    *warmup,
+						Measure:   *measure,
+						Seed:      *seed,
 					}
-					runs = append(runs, res.Transfer, res.Fallback)
-					w.row(res.Transfer)
-					w.row(res.Fallback)
-					fmt.Printf("    -> handoff p50 fallback/transfer = %.2fx (transfer %v, fallback %v)\n",
-						res.HandoffRatio(),
-						time.Duration(res.Transfer.Handoff.P50),
-						time.Duration(res.Fallback.Handoff.P50))
-				} else {
-					rep, err := loadgen.Run(cfg)
-					if err != nil {
-						fatal(err)
+					switch driver {
+					case loadgen.DriverTCP:
+						cfg.Codec = *codec
+					case loadgen.DriverService:
+						cfg.Codec = *codec
+						cfg.Lease = *lease
 					}
-					runs = append(runs, rep)
-					w.row(rep)
+					if *ab {
+						res, err := loadgen.RunAB(cfg)
+						if err != nil {
+							fatal(err)
+						}
+						runs = append(runs, res.Transfer, res.Fallback)
+						w.row(res.Transfer)
+						w.row(res.Fallback)
+						fmt.Printf("    -> handoff p50 fallback/transfer = %.2fx (transfer %v, fallback %v)\n",
+							res.HandoffRatio(),
+							time.Duration(res.Transfer.Handoff.P50),
+							time.Duration(res.Fallback.Handoff.P50))
+					} else {
+						rep, err := loadgen.Run(cfg)
+						if err != nil {
+							fatal(err)
+						}
+						runs = append(runs, rep)
+						w.row(rep)
+					}
 				}
 			}
 		}
@@ -137,8 +156,8 @@ func newTable() *table { return &table{} }
 
 func (t *table) row(r *loadgen.Report) {
 	if !t.headerDone {
-		fmt.Printf("%-7s %-6s %-6s %3s %-8s %-6s %9s %8s %11s %11s %11s %9s %7s\n",
-			"driver", "codec", "quorum", "n", "arrival", "xfer",
+		fmt.Printf("%-7s %-6s %-6s %3s %4s %-8s %-6s %9s %8s %11s %11s %11s %9s %7s\n",
+			"driver", "codec", "quorum", "n", "cli", "arrival", "xfer",
 			"ops", "thr/s", "acq-p50", "acq-p99", "handoff-p50", "msgs/cs", "retx")
 		t.headerDone = true
 	}
@@ -150,8 +169,12 @@ func (t *table) row(r *loadgen.Report) {
 	if codec == "" {
 		codec = "-" // in-process runs have no wire
 	}
-	fmt.Printf("%-7s %-6s %-6s %3d %-8s %-6s %9d %8.1f %11v %11v %11v %9.2f %7d\n",
-		r.Driver, codec, r.Quorum, r.N, r.Arrival, xfer,
+	cli := "-" // site drivers have no client tier
+	if r.Clients > 0 {
+		cli = strconv.Itoa(r.Clients)
+	}
+	fmt.Printf("%-7s %-6s %-6s %3d %4s %-8s %-6s %9d %8.1f %11v %11v %11v %9.2f %7d\n",
+		r.Driver, codec, r.Quorum, r.N, cli, r.Arrival, xfer,
 		r.Ops, r.Throughput,
 		time.Duration(r.Acquire.P50), time.Duration(r.Acquire.P99),
 		time.Duration(r.Handoff.P50), r.MessagesPerCS, r.Retransmits)

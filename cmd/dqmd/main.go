@@ -15,14 +15,34 @@
 // of the protocol over the same peers. No name means the default resource —
 // the single mutex of earlier versions.
 //
+// # Lock-service mode
+//
+// With -serve the site becomes an arbiter of the lock-service tier: besides
+// the protocol traffic on -listen it leases lock sessions to clients on the
+// -serve address (-lease tunes the lease TTL). A separate process attaches
+// with -dial and drives named locks through its session — it never joins
+// the coterie:
+//
+//	dqmd -id 0 -n 3 -listen :7100 -peers ... -serve :7200
+//	dqmd -id 1 -n 3 -listen :7101 -peers ... -serve :7201
+//	dqmd -id 2 -n 3 -listen :7102 -peers ... -serve :7202
+//	dqmd -dial localhost:7200,localhost:7201 -lock orders -demo 5
+//
+// The -dial address list is the client's failover chain; a crashed client's
+// locks are reclaimed when its lease runs out. Client mode takes -lock,
+// -demo, -settle and the interactive commands; the site/coterie flags (-id,
+// -n, -listen, -peers, -quorum, -serve, -http) are arbiter-side only.
+//
 // With -http each site also serves live observability for its own protocol
 // activity:
 //
 //	/metrics     the metrics snapshot as JSON (per-kind message counters,
-//	             messages per CS, sync/response/waiting delay stats in ns);
+//	             messages per CS, sync/response/waiting delay stats in ns,
+//	             and — on arbiters — session lifecycle counters);
 //	             ?resource=name isolates one named lock
 //	/debug       a human-readable status page with the snapshot, the
-//	             instantiated lock names, and the most recent events
+//	             instantiated lock names, session/lease counters when
+//	             serving, and the most recent events
 //	/debug/vars  the aggregate snapshot under the "dqmx" expvar
 package main
 
@@ -52,18 +72,28 @@ func main() {
 
 func run() error {
 	var (
-		id       = flag.Int("id", 0, "this site's id (0..n-1)")
-		n        = flag.Int("n", 3, "total number of sites")
-		listen   = flag.String("listen", ":7100", "listen address for protocol traffic")
-		peersIn  = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
-		quorum   = flag.String("quorum", "grid", "quorum construction: "+quorumNames())
-		demo     = flag.Int("demo", 0, "acquire/release this many times and exit (0 = interactive)")
-		lockName = flag.String("lock", "", "named lock to drive (default: the default resource)")
-		settle   = flag.Duration("settle", 2*time.Second, "wait before the demo starts so peers can come up")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug and /debug/vars on this address")
+		id        = flag.Int("id", 0, "this site's id (0..n-1)")
+		n         = flag.Int("n", 3, "total number of sites")
+		listen    = flag.String("listen", ":7100", "listen address for protocol traffic")
+		peersIn   = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
+		quorum    = flag.String("quorum", "grid", "quorum construction: "+quorumNames())
+		demo      = flag.Int("demo", 0, "acquire/release this many times and exit (0 = interactive)")
+		lockName  = flag.String("lock", "", "named lock to drive (default: the default resource; client mode: \"default\")")
+		settle    = flag.Duration("settle", 2*time.Second, "wait before the demo starts so peers can come up")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug and /debug/vars on this address")
+		serveAddr = flag.String("serve", "", "lease client sessions on this address (arbiter mode)")
+		lease     = flag.Duration("lease", 0, "session lease TTL (arbiter and client mode; 0 = service default)")
+		dialIn    = flag.String("dial", "", "attach as a lock-service client to these arbiter addresses (host:port,...)")
 	)
 	flag.Parse()
 	begin := time.Now()
+
+	if *dialIn != "" {
+		if *serveAddr != "" {
+			return fmt.Errorf("-dial (client mode) and -serve (arbiter mode) are mutually exclusive")
+		}
+		return runClient(*dialIn, *lease, *demo, *lockName, *settle, begin)
+	}
 
 	peers := map[dqmx.SiteID]string{}
 	if *peersIn != "" {
@@ -84,27 +114,53 @@ func run() error {
 	var ring *ringLog
 	if *httpAddr != "" {
 		// The HTTP endpoints need the aggregator and a recent-event log.
-		opts.Metrics = true
+		opts.Observe.Metrics = true
 		ring = newRingLog(256)
-		opts.Observer = ring.observe
+		opts.Observe.Observer = ring.observe
 	}
 	if err := opts.Validate(); err != nil {
 		return err
 	}
 
-	peer, err := dqmx.NewTCPNode(*n, dqmx.SiteID(*id), *listen, peers, opts)
-	if err != nil {
-		return err
+	var (
+		peer *dqmx.TCPPeer
+		srv  *dqmx.Server
+	)
+	if *serveAddr != "" {
+		s, err := dqmx.Serve(dqmx.ServeConfig{
+			N:            *n,
+			ID:           dqmx.SiteID(*id),
+			PeerListen:   *listen,
+			Peers:        peers,
+			ClientListen: *serveAddr,
+			Lease:        *lease,
+			Options:      opts,
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		srv, peer = s, s.Peer()
+		fmt.Printf("site %d/%d listening on %s (quorum: %s), serving sessions on %s\n",
+			*id, *n, peer.Addr(), *quorum, srv.ClientAddr())
+	} else {
+		p, err := dqmx.NewTCPNode(*n, dqmx.SiteID(*id), *listen, peers, opts)
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		peer = p
+		fmt.Printf("site %d/%d listening on %s (quorum: %s)\n", *id, *n, peer.Addr(), *quorum)
 	}
-	defer peer.Close()
-	fmt.Printf("site %d/%d listening on %s (quorum: %s)\n", *id, *n, peer.Addr(), *quorum)
 
 	if *httpAddr != "" {
-		if err := serveHTTP(*httpAddr, *id, *n, peer, ring); err != nil {
+		if err := serveHTTP(*httpAddr, *id, *n, peer, ring, srv); err != nil {
 			return err
 		}
 	}
 
+	resolve := func(name string) (locker, error) { return lockerFor(peer, name) }
+	who := fmt.Sprintf("site %d", *id)
 	if *demo > 0 {
 		// Measure the settle window from process start so slower startup
 		// paths (e.g. bringing up the HTTP server) don't skew this site's
@@ -112,9 +168,42 @@ func run() error {
 		if d := *settle - time.Since(begin); d > 0 {
 			time.Sleep(d)
 		}
-		return runDemo(peer, *id, *demo, *lockName)
+		return runDemo(resolve, who, *demo, *lockName)
 	}
-	return runInteractive(peer, *id, *lockName)
+	return runInteractive(resolve, who, *lockName, peer.Resources)
+}
+
+// runClient is -dial: attach a leased session to the arbiter coterie and
+// drive named locks through it. The empty lock name maps to "default" —
+// sessions have no default resource; every lock is named.
+func runClient(dialIn string, lease time.Duration, demo int, lockName string, settle time.Duration, begin time.Time) error {
+	addrs := []string{}
+	for _, a := range strings.Split(dialIn, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	sess, err := dqmx.Dial(ctx, addrs, dqmx.DialConfig{Lease: lease})
+	cancel()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	fmt.Printf("client: session %d attached (failover chain: %s)\n", sess.ID(), strings.Join(addrs, ", "))
+	resolve := func(name string) (locker, error) {
+		if name == "" {
+			name = "default"
+		}
+		return sess.Lock(name)
+	}
+	if demo > 0 {
+		if d := settle - time.Since(begin); d > 0 {
+			time.Sleep(d)
+		}
+		return runDemo(resolve, "client", demo, lockName)
+	}
+	return runInteractive(resolve, "client", lockName, nil)
 }
 
 // locker is the common surface of the default-resource Node and a named
@@ -176,7 +265,7 @@ func (r *ringLog) events() []dqmx.TraceEvent {
 	return append(out, r.buf[:r.next]...)
 }
 
-func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog) error {
+func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog, srv *dqmx.Server) error {
 	snapshot := func() dqmx.MetricsSnapshot {
 		s, _ := peer.Snapshot()
 		return s
@@ -218,6 +307,11 @@ func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog) error 
 			fmtDelay(s.SyncDelay), fmtDelay(s.Response), fmtDelay(s.Waiting))
 		fmt.Fprintf(w, "transport   retransmits %d  dups suppressed %d  acks %d\n",
 			s.Transport.Retransmits, s.Transport.DupSuppressed, s.Transport.AcksSent)
+		if srv != nil {
+			st := srv.SessionStats()
+			fmt.Fprintf(w, "sessions    active %d  opened %d  attaches %d  expired %d  closed %d  reclaimed %d\n",
+				st.Active, st.Opened, st.Attaches, st.Expired, st.Closed, st.Reclaimed)
+		}
 		fmt.Fprintf(w, "\nrecent events (oldest first):\n")
 		for _, e := range ring.events() {
 			fmt.Fprintln(w, e)
@@ -245,8 +339,8 @@ func fmtDelay(d dqmx.DelayStats) string {
 		time.Duration(d.P95), time.Duration(d.P99))
 }
 
-func runDemo(peer *dqmx.TCPPeer, id, rounds int, lockName string) error {
-	lock, err := lockerFor(peer, lockName)
+func runDemo(resolve func(string) (locker, error), who string, rounds int, lockName string) error {
+	lock, err := resolve(lockName)
 	if err != nil {
 		return err
 	}
@@ -262,17 +356,20 @@ func runDemo(peer *dqmx.TCPPeer, id, rounds int, lockName string) error {
 		if err != nil {
 			return fmt.Errorf("round %d acquire: %w", k, err)
 		}
-		fmt.Printf("site %d: entered %s (round %d, waited %v)\n", id, what, k, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s: entered %s (round %d, waited %v)\n", who, what, k, time.Since(start).Round(time.Millisecond))
 		time.Sleep(50 * time.Millisecond) // the critical section
 		if err := lock.Release(); err != nil {
 			return fmt.Errorf("round %d release: %w", k, err)
 		}
-		fmt.Printf("site %d: exited %s (round %d)\n", id, what, k)
+		fmt.Printf("%s: exited %s (round %d)\n", who, what, k)
 	}
 	return nil
 }
 
-func runInteractive(peer *dqmx.TCPPeer, id int, defaultLock string) error {
+// runInteractive drives the stdin command loop. listLocks reports the
+// instantiated lock names for the "locks" command; nil when the process has
+// no local view of them (client mode — locks live on the arbiters).
+func runInteractive(resolveName func(string) (locker, error), who, defaultLock string, listLocks func() []string) error {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Println("commands: acquire [lock] | try [lock] [timeout] | release [lock] | locks | quit")
 	// resolve turns a command's optional lock-name argument into a handle,
@@ -282,10 +379,10 @@ func runInteractive(peer *dqmx.TCPPeer, id int, defaultLock string) error {
 		if arg != "" {
 			name = arg
 		}
-		return lockerFor(peer, name)
+		return resolveName(name)
 	}
 	for {
-		fmt.Printf("site%d> ", id)
+		fmt.Printf("%s> ", who)
 		if !sc.Scan() {
 			return sc.Err()
 		}
@@ -350,7 +447,11 @@ func runInteractive(peer *dqmx.TCPPeer, id int, defaultLock string) error {
 			}
 			fmt.Println("released")
 		case "locks":
-			for _, name := range peer.Resources() {
+			if listLocks == nil {
+				fmt.Println("  (not tracked client-side; locks live on the arbiters)")
+				continue
+			}
+			for _, name := range listLocks() {
 				if name == "" {
 					name = "(default)"
 				}

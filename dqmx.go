@@ -281,13 +281,29 @@ func (o Options) transportConfig() (transport.WireConfig, error) {
 	return w, nil
 }
 
-// Options configures a cluster or simulation.
-type Options struct {
-	// Protocol defaults to DelayOptimal.
-	Protocol Protocol
-	// Quorum selects the coterie for quorum-based protocols (default
-	// GridQuorums). Ignored by the non-quorum baselines.
-	Quorum Quorum
+// ObserveConfig groups the observability knobs, following the WireConfig
+// pattern: one composable sub-config per concern. The zero value observes
+// nothing — the event path then costs a single nil check.
+type ObserveConfig struct {
+	// Observer, when non-nil, receives every protocol event. It applies to
+	// clusters (NewClusterWith, NewTCPNode, Serve) and simulations
+	// (Simulate, SimulateWithCrashes).
+	Observer TraceSink
+	// Metrics enables the built-in metrics aggregator on live clusters,
+	// exposed through Cluster.Snapshot and TCPPeer.Snapshot (aggregate) and
+	// SnapshotResource (per named lock). Simulations report metrics through
+	// SimulationResult instead.
+	Metrics bool
+}
+
+// FaultConfig groups the fault-machinery knobs: injected faults and the
+// protocol's fault-handling toggles. The zero value means no injection and
+// full §6 recovery.
+type FaultConfig struct {
+	// Chaos, when non-nil, interposes the seeded fault-injection layer on
+	// an in-process cluster (NewClusterWith only — TCP deployments and
+	// simulations reject it; the simulator has its own fault machinery).
+	Chaos *ChaosPlan
 	// DisableRecovery turns off the §6 failure recovery of the
 	// delay-optimal protocol.
 	DisableRecovery bool
@@ -297,29 +313,64 @@ type Options struct {
 	// benchmarking lab's A/B of the paper's delay-optimality claim; other
 	// protocols reject it.
 	DisableTransfer bool
-	// Observer, when non-nil, receives every protocol event. It applies to
-	// clusters (NewClusterWith, NewTCPNode) and simulations (Simulate,
-	// SimulateWithCrashes).
-	Observer TraceSink
-	// Metrics enables the built-in metrics aggregator on live clusters,
-	// exposed through Cluster.Snapshot and TCPPeer.Snapshot (aggregate) and
-	// SnapshotResource (per named lock). When false (and Observer is nil)
-	// the event path costs a single nil check. Simulations report metrics
-	// through SimulationResult instead.
-	Metrics bool
+}
+
+// Options configures a cluster or simulation.
+//
+// The observability and fault knobs live in the Observe and Faults
+// sub-configs; the flat fields of the same names predate the grouping and
+// remain as forwarding shims for one more release (see the deprecation
+// policy in the README). Boolean shims OR with their grouped counterparts;
+// for the pointer-valued Observer and Chaos the grouped field wins when both
+// are set (Validate rejects a contradictory Chaos pair).
+type Options struct {
+	// Protocol defaults to DelayOptimal.
+	Protocol Protocol
+	// Quorum selects the coterie for quorum-based protocols (default
+	// GridQuorums). Ignored by the non-quorum baselines.
+	Quorum Quorum
+	// Observe groups the observability knobs: event stream and metrics
+	// aggregation.
+	Observe ObserveConfig
+	// Faults groups the fault-machinery knobs: chaos injection and the §6
+	// recovery/transfer toggles.
+	Faults FaultConfig
 	// Resources bounds and validates named-lock resource names on live
 	// clusters. The zero value applies the defaults (non-empty names up to
 	// 128 bytes).
 	Resources ResourcePolicy
-	// Chaos, when non-nil, interposes the seeded fault-injection layer on
-	// an in-process cluster (NewClusterWith only — TCP deployments and
-	// simulations reject it; the simulator has its own fault machinery).
-	Chaos *ChaosPlan
 	// Wire consolidates the byte-layer knobs of a TCP deployment: codec
 	// selection, synthetic link delay, and the reconnect policy (NewTCPNode
-	// only; in-process clusters model delay through Chaos, simulations
-	// through their delay distribution).
+	// and Serve only; in-process clusters model delay through Chaos,
+	// simulations through their delay distribution).
 	Wire WireConfig
+
+	// DisableRecovery is the pre-FaultConfig name for
+	// Faults.DisableRecovery; either field (or both) enables the toggle.
+	//
+	// Deprecated: set Faults.DisableRecovery instead.
+	DisableRecovery bool
+	// DisableTransfer is the pre-FaultConfig name for
+	// Faults.DisableTransfer; either field (or both) enables the toggle.
+	//
+	// Deprecated: set Faults.DisableTransfer instead.
+	DisableTransfer bool
+	// Observer is the pre-ObserveConfig name for Observe.Observer. When
+	// both are set, Observe.Observer wins.
+	//
+	// Deprecated: set Observe.Observer instead.
+	Observer TraceSink
+	// Metrics is the pre-ObserveConfig name for Observe.Metrics; either
+	// field (or both) enables the aggregator.
+	//
+	// Deprecated: set Observe.Metrics instead.
+	Metrics bool
+	// Chaos is the pre-FaultConfig name for Faults.Chaos. When both are
+	// set they must point at the same plan (Validate and every constructor
+	// reject a contradictory pair).
+	//
+	// Deprecated: set Faults.Chaos instead.
+	Chaos *ChaosPlan
 	// LinkDelay is the pre-WireConfig name for Wire.LinkDelay, kept as a
 	// forwarding shim. When both are set, Wire.LinkDelay wins.
 	//
@@ -327,10 +378,43 @@ type Options struct {
 	LinkDelay time.Duration
 }
 
+// observer resolves the effective event sink across the deprecated shim.
+func (o Options) observer() TraceSink {
+	if o.Observe.Observer != nil {
+		return o.Observe.Observer
+	}
+	return o.Observer
+}
+
+// metricsEnabled resolves the effective metrics toggle across the
+// deprecated shim.
+func (o Options) metricsEnabled() bool { return o.Observe.Metrics || o.Metrics }
+
+// chaosPlan resolves the effective chaos plan across the deprecated shim;
+// a contradictory pair (both set, different plans) is an error.
+func (o Options) chaosPlan() (*ChaosPlan, error) {
+	if o.Faults.Chaos != nil && o.Chaos != nil && o.Faults.Chaos != o.Chaos {
+		return nil, errors.New("dqmx: Faults.Chaos and the deprecated Chaos field name different plans; set only Faults.Chaos")
+	}
+	if o.Faults.Chaos != nil {
+		return o.Faults.Chaos, nil
+	}
+	return o.Chaos, nil
+}
+
+// disableRecovery and disableTransfer resolve the §6 toggles across the
+// deprecated shims.
+func (o Options) disableRecovery() bool { return o.Faults.DisableRecovery || o.DisableRecovery }
+func (o Options) disableTransfer() bool { return o.Faults.DisableTransfer || o.DisableTransfer }
+
 // Validate checks that the options name a known protocol, quorum
-// construction, and wire codec; its errors list the valid choices.
+// construction, and wire codec, and that the deprecated flat fields do not
+// contradict their grouped counterparts; its errors list the valid choices.
 func (o Options) Validate() error {
 	if _, err := o.algorithm(); err != nil {
+		return err
+	}
+	if _, err := o.chaosPlan(); err != nil {
 		return err
 	}
 	return o.Wire.validate()
@@ -352,8 +436,8 @@ func (o Options) algorithm() (mutex.Algorithm, error) {
 		return nil, err
 	}
 	alg, err := harness.NewAlgorithmOpts(string(o.Protocol), cons, harness.AlgorithmOptions{
-		DisableRecovery: o.DisableRecovery,
-		DisableTransfer: o.DisableTransfer,
+		DisableRecovery: o.disableRecovery(),
+		DisableTransfer: o.disableTransfer(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dqmx: %w", err)
@@ -381,6 +465,10 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 	if opts.Wire != (WireConfig{}) {
 		return nil, errors.New("dqmx: Wire applies to TCP peers only; in-process clusters have no wire")
 	}
+	plan, err := opts.chaosPlan()
+	if err != nil {
+		return nil, err
+	}
 	alg, err := opts.algorithm()
 	if err != nil {
 		return nil, err
@@ -389,9 +477,9 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 		Algorithm: alg,
 		N:         n,
 		Metrics:   opts.collector(),
-		Observer:  opts.Observer,
+		Observer:  opts.observer(),
 		Policy:    opts.Resources,
-		Chaos:     opts.Chaos,
+		Chaos:     plan,
 	})
 	if err != nil {
 		return nil, err
@@ -399,9 +487,9 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 	return &Cluster{inner: inner}, nil
 }
 
-// collector builds the metrics aggregator when Options.Metrics asks for one.
+// collector builds the metrics aggregator when the options ask for one.
 func (o Options) collector() *obs.Metrics {
-	if !o.Metrics {
+	if !o.metricsEnabled() {
 		return nil
 	}
 	return obs.NewMetrics()
@@ -472,21 +560,31 @@ func fnv32a(s string) uint32 {
 // any algorithm or site construction so misconfigured deployments fail
 // fast with a clear error.
 func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, opts Options) (*TCPPeer, error) {
+	peer, _, err := newTCPPeer(n, id, listenAddr, peers, opts)
+	return peer, err
+}
+
+// newTCPPeer builds the TCP peer and also returns its metrics collector so
+// Serve can feed session-tier events into the same aggregate.
+func newTCPPeer(n int, id SiteID, listenAddr string, peers map[SiteID]string, opts Options) (*TCPPeer, *obs.Metrics, error) {
 	if int(id) < 0 || int(id) >= n {
-		return nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
+		return nil, nil, fmt.Errorf("dqmx: site %d out of range 0..%d", id, n-1)
 	}
-	if opts.Chaos != nil {
-		return nil, errors.New("dqmx: chaos injection is supported on in-process clusters only")
+	if plan, err := opts.chaosPlan(); err != nil {
+		return nil, nil, err
+	} else if plan != nil {
+		return nil, nil, errors.New("dqmx: chaos injection is supported on in-process clusters only")
 	}
 	alg, err := opts.algorithm()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	wcfg, err := opts.transportConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return transport.NewTCPPeerConfig(transport.TCPConfig{
+	col := opts.collector()
+	peer, err := transport.NewTCPPeerConfig(transport.TCPConfig{
 		Self: id,
 		Factory: func(string) (mutex.Site, error) {
 			// Every resource gets a fresh, independent run of the protocol:
@@ -499,11 +597,15 @@ func NewTCPNode(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 		},
 		ListenAddr: listenAddr,
 		Peers:      peers,
-		Metrics:    opts.collector(),
-		Observer:   opts.Observer,
+		Metrics:    col,
+		Observer:   opts.observer(),
 		Policy:     opts.Resources,
 		Wire:       wcfg,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return peer, col, nil
 }
 
 // SimulationResult reports the metrics of one simulated run in the paper's
@@ -536,7 +638,9 @@ const (
 // executions per site and returns the measured metrics. It is the
 // programmatic face of the paper's evaluation harness.
 func Simulate(n int, opts Options, load LoadShape, perSite int, seed int64) (SimulationResult, error) {
-	if opts.Chaos != nil {
+	if plan, err := opts.chaosPlan(); err != nil {
+		return SimulationResult{}, err
+	} else if plan != nil {
 		return SimulationResult{}, errors.New("dqmx: chaos injection applies to live clusters; use SimulateWithCrashes for simulated faults")
 	}
 	alg, err := opts.algorithm()
@@ -549,7 +653,7 @@ func Simulate(n int, opts Options, load LoadShape, perSite int, seed int64) (Sim
 	}
 	res, err := harness.Run(harness.Spec{
 		N: n, Algorithm: alg, Load: kind, PerSite: perSite, Seed: seed,
-		Observer: opts.Observer,
+		Observer: opts.observer(),
 	})
 	if err != nil {
 		return SimulationResult{}, err
@@ -579,7 +683,9 @@ type CrashEvent struct {
 // after a failure-detection delay and the §6 recovery protocol rebuilds the
 // affected quorums. It returns the metrics of the surviving executions.
 func SimulateWithCrashes(n int, opts Options, perSite int, crashes []CrashEvent, seed int64) (SimulationResult, error) {
-	if opts.Chaos != nil {
+	if plan, err := opts.chaosPlan(); err != nil {
+		return SimulationResult{}, err
+	} else if plan != nil {
 		return SimulationResult{}, errors.New("dqmx: chaos injection applies to live clusters; use the crashes argument for simulated faults")
 	}
 	alg, err := opts.algorithm()
@@ -589,7 +695,7 @@ func SimulateWithCrashes(n int, opts Options, perSite int, crashes []CrashEvent,
 	const meanDelay = sim.Time(1000)
 	cluster, err := sim.NewCluster(sim.Config{
 		N: n, Algorithm: alg, Delay: sim.ConstantDelay{D: meanDelay}, Seed: seed, CSTime: 10,
-		Observer: opts.Observer,
+		Observer: opts.observer(),
 	})
 	if err != nil {
 		return SimulationResult{}, err

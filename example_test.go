@@ -103,6 +103,54 @@ func ExampleSimulate() {
 	// delay-optimal(maekawa-grid): 24 messages per CS at light load
 }
 
+// ExampleServe wires up the lock-service tier: a small fixed coterie of
+// arbiter sites serves leased lock sessions to clients that never join the
+// quorum protocol, so message cost per critical section stays a function
+// of the coterie while the client population scales freely. This example
+// has no Output line because it binds real network listeners; the
+// root-package service tests (TestServiceLiveScale and friends) run the
+// identical path live under -race.
+func ExampleServe() {
+	// One Serve call per arbiter process. PeerListen carries quorum
+	// traffic, ClientListen leases sessions; Lease bounds how long a
+	// crashed client can keep a lock.
+	srv, err := dqmx.Serve(dqmx.ServeConfig{
+		N:            3,
+		ID:           0,
+		PeerListen:   ":7100",
+		Peers:        map[dqmx.SiteID]string{1: "host2:7100", 2: "host3:7100"},
+		ClientListen: ":7200",
+		Lease:        5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Any number of client processes attach with Dial; the address list is
+	// the fail-over chain. Session handles hand out the same *dqmx.Lock as
+	// clusters and TCP peers do.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sess, err := dqmx.Dial(ctx, []string{"host1:7200", "host2:7200"}, dqmx.DialConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	orders, err := sess.Lock("orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = orders.Do(ctx, func(ctx context.Context) error {
+		// ... at most one holder of "orders" across every client ...
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err) // ErrLockLost here means the session was rebuilt
+	}
+}
+
 // ExampleQuorumOf inspects the grid quorum of the center site of a 3×3
 // grid.
 func ExampleQuorumOf() {

@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"time"
 
 	"dqmx"
 	"dqmx/internal/obs"
@@ -18,6 +20,12 @@ const (
 	// writers, the reliability sublayer — with Config.HopDelay as the
 	// transport's link delay.
 	DriverTCP = "tcp"
+	// DriverService runs the lock-service tier: N arbiters (dqmx.Serve)
+	// over loopback TCP plus Config.Clients leased sessions (dqmx.Dial)
+	// spread across them. Workers operate through the sessions, so the
+	// benchmark measures client-count scaling against a fixed coterie —
+	// quorum traffic per CS must stay flat as Clients grows.
+	DriverService = "service"
 )
 
 // wireCodecName canonicalizes a Config.Codec value, resolving the empty
@@ -48,10 +56,10 @@ type driver interface {
 // event timestamps are comparable.
 func newDriver(cfg Config, sink obs.Sink) (driver, error) {
 	opts := dqmx.Options{
-		Protocol:        dqmx.Protocol(cfg.Protocol),
-		Quorum:          dqmx.Quorum(cfg.Quorum),
-		DisableTransfer: cfg.DisableTransfer,
-		Observer:        sink,
+		Protocol: dqmx.Protocol(cfg.Protocol),
+		Quorum:   dqmx.Quorum(cfg.Quorum),
+		Observe:  dqmx.ObserveConfig{Observer: sink},
+		Faults:   dqmx.FaultConfig{DisableTransfer: cfg.DisableTransfer},
 	}
 	switch cfg.Driver {
 	case DriverInproc:
@@ -81,6 +89,12 @@ func newDriver(cfg Config, sink obs.Sink) (driver, error) {
 			LinkDelay: cfg.HopDelay,
 		}
 		return newTCPDriver(cfg.N, opts)
+	case DriverService:
+		opts.Wire = dqmx.WireConfig{
+			Codec:     dqmx.Codec(cfg.Codec),
+			LinkDelay: cfg.HopDelay,
+		}
+		return newServiceDriver(cfg, opts)
 	}
 	return nil, fmt.Errorf("loadgen: unknown driver %q", cfg.Driver)
 }
@@ -149,6 +163,97 @@ func (d *tcpDriver) close() {
 	for _, p := range d.peers {
 		if p != nil {
 			p.Close()
+		}
+	}
+}
+
+// serviceDriver hosts the lock-service tier on loopback: a fixed arbiter
+// coterie plus one leased session per client index. Its lock index is a
+// *client*, not a site — the whole point is that clients outnumber the
+// coterie without growing the quorums.
+type serviceDriver struct {
+	srvs     []*dqmx.Server
+	sessions []*dqmx.Session
+}
+
+func newServiceDriver(cfg Config, opts dqmx.Options) (*serviceDriver, error) {
+	n := cfg.N
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				_ = l.Close()
+			}
+			return nil, fmt.Errorf("loadgen: reserve address: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	d := &serviceDriver{srvs: make([]*dqmx.Server, n)}
+	for i := 0; i < n; i++ {
+		book := make(map[dqmx.SiteID]string, n-1)
+		for j, a := range addrs {
+			if j != i {
+				book[dqmx.SiteID(j)] = a
+			}
+		}
+		srv, err := dqmx.Serve(dqmx.ServeConfig{
+			N:            n,
+			ID:           dqmx.SiteID(i),
+			PeerListen:   addrs[i],
+			Peers:        book,
+			ClientListen: "127.0.0.1:0",
+			Lease:        cfg.Lease,
+			Options:      opts,
+		})
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("loadgen: start arbiter %d: %w", i, err)
+		}
+		d.srvs[i] = srv
+	}
+	clientAddrs := make([]string, n)
+	for i, srv := range d.srvs {
+		clientAddrs[i] = srv.ClientAddr()
+	}
+	d.sessions = make([]*dqmx.Session, cfg.Clients)
+	for i := range d.sessions {
+		// Spread sessions over the arbiters; each keeps the full list as
+		// its failover chain.
+		rot := append(append([]string{}, clientAddrs[i%n:]...), clientAddrs[:i%n]...)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		sess, err := dqmx.Dial(ctx, rot, dqmx.DialConfig{Lease: cfg.Lease})
+		cancel()
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("loadgen: dial client %d: %w", i, err)
+		}
+		d.sessions[i] = sess
+	}
+	return d, nil
+}
+
+func (d *serviceDriver) lock(client int, name string) (*dqmx.Lock, error) {
+	if client < 0 || client >= len(d.sessions) {
+		return nil, fmt.Errorf("loadgen: client %d out of range", client)
+	}
+	return d.sessions[client].Lock(name)
+}
+
+func (d *serviceDriver) close() {
+	for _, s := range d.sessions {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+	for _, srv := range d.srvs {
+		if srv != nil {
+			srv.Close()
 		}
 	}
 }

@@ -107,8 +107,15 @@ type Config struct {
 	// Codec selects the TCP driver's wire codec ("binary" or "gob"; empty
 	// means binary). The in-process driver has no wire and rejects it.
 	Codec string
-	// N is the cluster size.
+	// N is the cluster size: sites for the site drivers, arbiters for the
+	// service driver.
 	N int
+	// Clients is the leased-session count of a service run (default:
+	// Workers). The site drivers reject it — their population is N.
+	Clients int
+	// Lease is the service run's session lease TTL (zero = service
+	// default).
+	Lease time.Duration
 	// Resources is the number of named locks (default 1).
 	Resources int
 	// Dist and ZipfS select the key-popularity distribution (default
@@ -165,9 +172,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Driver == "" {
 		c.Driver = DriverInproc
 	}
-	if c.Driver != DriverInproc && c.Driver != DriverTCP {
-		return c, fmt.Errorf("loadgen: unknown driver %q (valid: %s, %s)",
-			c.Driver, DriverInproc, DriverTCP)
+	if c.Driver != DriverInproc && c.Driver != DriverTCP && c.Driver != DriverService {
+		return c, fmt.Errorf("loadgen: unknown driver %q (valid: %s, %s, %s)",
+			c.Driver, DriverInproc, DriverTCP, DriverService)
 	}
 	if c.N < 2 {
 		return c, fmt.Errorf("loadgen: need at least 2 sites, got %d", c.N)
@@ -203,7 +210,11 @@ func (c Config) withDefaults() (Config, error) {
 			c.Arrival, ArrivalClosed, ArrivalOpen)
 	}
 	if c.Workers == 0 {
-		c.Workers = c.N
+		if c.Driver == DriverService && c.Clients > 0 {
+			c.Workers = c.Clients
+		} else {
+			c.Workers = c.N
+		}
 	}
 	if c.Workers < 1 {
 		return c, fmt.Errorf("loadgen: need at least one worker, got %d", c.Workers)
@@ -215,7 +226,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.Drain = 5 * time.Second
 	}
 	switch c.Driver {
-	case DriverTCP:
+	case DriverTCP, DriverService:
 		if c.Chaos != nil {
 			return c, fmt.Errorf("loadgen: chaos plans apply to the in-process driver only")
 		}
@@ -231,7 +242,32 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("loadgen: wire codecs apply to the TCP driver only, got %q", c.Codec)
 		}
 	}
+	switch c.Driver {
+	case DriverService:
+		if c.Clients == 0 {
+			c.Clients = c.Workers
+		}
+		if c.Clients < 1 {
+			return c, fmt.Errorf("loadgen: need at least one client, got %d", c.Clients)
+		}
+	default:
+		if c.Clients != 0 {
+			return c, fmt.Errorf("loadgen: Clients applies to the service driver only")
+		}
+		if c.Lease != 0 {
+			return c, fmt.Errorf("loadgen: Lease applies to the service driver only")
+		}
+	}
 	return c, nil
+}
+
+// population is the lock-handle index space of a run: sites for the site
+// drivers, sessions for the service driver.
+func (c Config) population() int {
+	if c.Driver == DriverService {
+		return c.Clients
+	}
+	return c.N
 }
 
 // resourceName returns the canonical name of resource i.

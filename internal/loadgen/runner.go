@@ -22,7 +22,10 @@ type Report struct {
 	// Codec is the wire codec of a TCP run; empty for in-process runs,
 	// which have no wire.
 	Codec     string  `json:"codec,omitempty"`
-	N         int     `json:"n"`
+	N int `json:"n"`
+	// Clients is the leased-session count of a service run; zero for site
+	// drivers, whose population is the N sites themselves.
+	Clients   int     `json:"clients,omitempty"`
 	Resources int     `json:"resources"`
 	Dist      string  `json:"dist"`
 	ZipfS     float64 `json:"zipf_s,omitempty"`
@@ -98,15 +101,18 @@ func Run(cfg Config) (*Report, error) {
 	defer drv.close()
 
 	// Pre-instantiate every (worker, resource) handle so instantiation cost
-	// never lands inside the run. Worker w issues requests as site w mod N.
+	// never lands inside the run. Worker w issues requests as member
+	// w mod population — a site on the site drivers, a leased session on
+	// the service driver.
+	pop := cfg.population()
 	handles := make([][]*dqmx.Lock, cfg.Workers)
 	for w := range handles {
 		handles[w] = make([]*dqmx.Lock, cfg.Resources)
 		for r := 0; r < cfg.Resources; r++ {
-			h, err := drv.lock(w%cfg.N, resourceName(r))
+			h, err := drv.lock(w%pop, resourceName(r))
 			if err != nil {
-				return nil, fmt.Errorf("loadgen: lock handle (site %d, %s): %w",
-					w%cfg.N, resourceName(r), err)
+				return nil, fmt.Errorf("loadgen: lock handle (member %d, %s): %w",
+					w%pop, resourceName(r), err)
 			}
 			handles[w][r] = h
 		}
@@ -233,6 +239,7 @@ func Run(cfg Config) (*Report, error) {
 		Quorum:     quorumName(cfg.Quorum),
 		Codec:      cfg.Codec,
 		N:          cfg.N,
+		Clients:    cfg.Clients,
 		Resources:  cfg.Resources,
 		Dist:       cfg.Dist,
 		ZipfS:      cfg.ZipfS,

@@ -125,6 +125,53 @@ func TestTCPProtocolsAndCodecs(t *testing.T) {
 	}
 }
 
+// TestServiceScaling is the lock-service-tier smoke: a fixed 3-arbiter
+// coterie serves a growing leased-client population over loopback TCP. The
+// tentpole claim under test is that the per-CS protocol traffic — the
+// paper's 3(K−1)..6(K−1) bound, a function of the coterie alone — stays
+// flat as the client count quadruples.
+func TestServiceScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark smoke; skipped in -short")
+	}
+	perCS := make(map[int]float64)
+	for _, nClients := range []int{8, 32} {
+		rep, err := Run(Config{
+			Driver:    DriverService,
+			N:         3,
+			Quorum:    "majority",
+			Clients:   nClients,
+			Resources: 4,
+			Hold:      200 * time.Microsecond,
+			Warmup:    150 * time.Millisecond,
+			Measure:   600 * time.Millisecond,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatalf("clients=%d: %v", nClients, err)
+		}
+		if rep.Ops == 0 || rep.Throughput <= 0 {
+			t.Fatalf("clients=%d did no work: %+v", nClients, rep)
+		}
+		if rep.Clients != nClients || rep.Workers != nClients {
+			t.Fatalf("clients=%d: report population wrong: clients=%d workers=%d",
+				nClients, rep.Clients, rep.Workers)
+		}
+		if rep.MessagesPerCS <= 0 {
+			t.Fatalf("clients=%d reported no protocol traffic: %+v", nClients, rep)
+		}
+		perCS[nClients] = rep.MessagesPerCS
+		t.Logf("clients=%d: ops=%d thr=%.1f/s msgs/cs=%.2f acquire p50=%v",
+			nClients, rep.Ops, rep.Throughput, rep.MessagesPerCS,
+			time.Duration(rep.Acquire.P50))
+	}
+	// Flat within a loose noise margin: 4x the clients must not even double
+	// the per-CS quorum traffic (it should barely move at all).
+	if ratio := perCS[32] / perCS[8]; ratio > 2.0 {
+		t.Errorf("messages/CS grew %.2fx from 8 to 32 clients; the coterie should absorb client growth", ratio)
+	}
+}
+
 // TestBenchSmoke is the artifact-path smoke: a short deterministic sweep
 // over grid-9 and tree-7 in-process clusters, written and re-read as a
 // schema-checked BENCH_live JSON artifact with non-trivial throughput and

@@ -34,6 +34,23 @@ type TransportStats struct {
 	AcksSent uint64
 }
 
+// SessionStats counts lock-service session lifecycle events. Like
+// TransportStats it is collector-global: the session tier sits above the
+// resource layer (one session may hold many named locks), so the counters
+// never touch the per-resource protocol accounting.
+type SessionStats struct {
+	// Opened counts granted session leases (new sessions, not renewals).
+	Opened uint64
+	// Expired counts sessions whose lease ran out without renewal.
+	Expired uint64
+	// Closed counts orderly session shutdowns.
+	Closed uint64
+	// LocksReclaimed counts locks released on behalf of expired sessions —
+	// each reclaim hands the grant to the next waiter through the normal
+	// protocol path.
+	LocksReclaimed uint64
+}
+
 // Snapshot is a point-in-time copy of the aggregated metrics.
 type Snapshot struct {
 	// Events is the total number of observed events.
@@ -64,6 +81,9 @@ type Snapshot struct {
 	// Transport reports the reliability sublayer's health. Like Events it is
 	// collector-global, so SnapshotResource repeats the same totals.
 	Transport TransportStats
+	// Sessions reports lock-service session lifecycle totals. Collector-
+	// global, like Transport.
+	Sessions SessionStats
 }
 
 // Kinds returns the snapshot's message kinds in canonical table order
@@ -110,6 +130,7 @@ type Metrics struct {
 	mu        sync.Mutex
 	events    uint64
 	transport TransportStats
+	sessions  SessionStats
 	res       map[string]*resourceAgg
 }
 
@@ -165,6 +186,21 @@ func (m *Metrics) Observe(e Event) {
 	case EventAckSend:
 		m.transport.AcksSent++
 		return
+	// Service-level session events are likewise collector-global: a session
+	// spans resources, so only EventLockReclaim even carries a Resource, and
+	// none of them may leak into the per-resource protocol tallies.
+	case EventSessionOpen:
+		m.sessions.Opened++
+		return
+	case EventSessionExpire:
+		m.sessions.Expired++
+		return
+	case EventSessionClose:
+		m.sessions.Closed++
+		return
+	case EventLockReclaim:
+		m.sessions.LocksReclaimed++
+		return
 	}
 	a, ok := m.res[e.Resource]
 	if !ok {
@@ -205,10 +241,11 @@ func (m *Metrics) Observe(e Event) {
 }
 
 // snapshotLocked summarizes one aggregate; the caller holds m.mu.
-func (a *resourceAgg) snapshotLocked(events uint64, transport TransportStats) Snapshot {
+func (a *resourceAgg) snapshotLocked(events uint64, transport TransportStats, sessions SessionStats) Snapshot {
 	s := Snapshot{
 		Events:     events,
 		Transport:  transport,
+		Sessions:   sessions,
 		Messages:   a.messages,
 		ByKind:     make(map[string]uint64, len(a.byKind)),
 		Requests:   a.requests,
@@ -239,6 +276,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Events:    m.events,
 		Transport: m.transport,
+		Sessions:  m.sessions,
 		ByKind:    make(map[string]uint64),
 	}
 	var syncDelay, response, waiting Histogram
@@ -275,7 +313,7 @@ func (m *Metrics) SnapshotResource(resource string) (snap Snapshot, ok bool) {
 	if !ok {
 		return Snapshot{}, false
 	}
-	return a.snapshotLocked(m.events, m.transport), true
+	return a.snapshotLocked(m.events, m.transport, m.sessions), true
 }
 
 // Resources lists every resource the collector has seen events for, sorted.

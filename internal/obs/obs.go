@@ -56,6 +56,20 @@ const (
 	// site after an idle flush (piggybacked acks are not reported).
 	// Transport-level.
 	EventAckSend
+	// EventSessionOpen marks an arbiter granting a new client session lease
+	// (Site is the arbiter). Service-level: session events never count
+	// toward the protocol's per-CS message accounting.
+	EventSessionOpen
+	// EventSessionExpire marks an arbiter expiring a client session whose
+	// lease ran out without renewal. Service-level.
+	EventSessionExpire
+	// EventSessionClose marks an orderly client session shutdown.
+	// Service-level.
+	EventSessionClose
+	// EventLockReclaim marks the arbiter releasing a lock held by an
+	// expired session (Resource names the lock), feeding the grant back
+	// into the quorum protocol for the next waiter. Service-level.
+	EventLockReclaim
 )
 
 // String returns the event type's stable name.
@@ -79,6 +93,14 @@ func (t EventType) String() string {
 		return "dup-drop"
 	case EventAckSend:
 		return "ack"
+	case EventSessionOpen:
+		return "session-open"
+	case EventSessionExpire:
+		return "session-expire"
+	case EventSessionClose:
+		return "session-close"
+	case EventLockReclaim:
+		return "lock-reclaim"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

@@ -1,6 +1,17 @@
 package resource
 
-import "context"
+import (
+	"context"
+	"errors"
+)
+
+// ErrLockLost reports that a previously granted lock was invalidated out
+// from under its holder — the defining hazard of leased sessions: the
+// session expired or failed over to a different arbiter, so the arbiter has
+// (or will have) reclaimed the lock for the next waiter. Peer-to-peer
+// instances never return it. Release treats it as a completed release: the
+// handle's admission token is freed so the name stays usable.
+var ErrLockLost = errors.New("resource: lock lost (session expired or failed over)")
 
 // Lock is the handle for one named distributed lock. Handles are canonical —
 // Manager.Lock returns the same *Lock for the same name — so every local
@@ -64,16 +75,20 @@ func (l *Lock) TryAcquire(ctx context.Context) (bool, error) {
 }
 
 // Release exits the named lock's critical section. It returns the protocol's
-// error when the lock is not held or the cluster has shut down.
+// error when the lock is not held or the cluster has shut down. ErrLockLost
+// still frees the handle (the arbiter reclaimed the lock; there is nothing
+// left to hold), so callers can retry Acquire on the same handle after
+// inspecting the error.
 func (l *Lock) Release() error {
-	if err := l.inst.Release(); err != nil {
+	err := l.inst.Release()
+	if err != nil && !errors.Is(err, ErrLockLost) {
 		return err
 	}
 	select {
 	case <-l.sem:
 	default:
 	}
-	return nil
+	return err
 }
 
 // Do runs fn while holding the lock: acquire, run, release — the release

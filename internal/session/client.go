@@ -1,0 +1,662 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/resource"
+	"dqmx/internal/transport"
+	"dqmx/internal/wire"
+)
+
+// Terminal client errors.
+var (
+	// ErrSessionLost means the client could not maintain a session with any
+	// arbiter within the configured window; every operation on the client
+	// fails with it from then on.
+	ErrSessionLost = errors.New("session: session lost (no arbiter reachable within the failover window)")
+	// ErrClientClosed is returned by operations after Close or Abandon.
+	ErrClientClosed = errors.New("session: client closed")
+)
+
+// Client defaults.
+const (
+	// DefaultClientLease is the lease TTL requested when the config names
+	// none.
+	DefaultClientLease = 2 * time.Second
+	// DefaultDialTimeout bounds one dial + handshake attempt.
+	DefaultDialTimeout = 2 * time.Second
+)
+
+// ClientConfig configures Dial.
+type ClientConfig struct {
+	// Addrs lists the arbiters' client-facing addresses; the client
+	// attaches to the first reachable one and fails over along the list.
+	Addrs []string
+	// Codec names the wire codec to propose ("" = binary).
+	Codec string
+	// Lease is the requested lease TTL (DefaultClientLease when zero). The
+	// server may cap it; the granted TTL governs.
+	Lease time.Duration
+	// Keepalive is the renewal period (granted TTL / 3 when zero).
+	Keepalive time.Duration
+	// DialTimeout bounds one dial + handshake attempt.
+	DialTimeout time.Duration
+	// FailoverWindow is how long the client keeps retrying arbiters after
+	// losing its connection before declaring the session lost
+	// (3 × granted TTL when zero).
+	FailoverWindow time.Duration
+	// Policy bounds lock names client-side, mirroring the arbiter's.
+	Policy resource.Policy
+}
+
+// result carries one routed lock reply. retry means the reply will never
+// arrive (the connection it was issued on died) and the operation should
+// reissue; sessionEpoch stamps which session incarnation delivered it.
+type result struct {
+	rep          lockRepMsg
+	sessionEpoch uint64
+	retry        bool
+}
+
+// call is one in-flight request awaiting its reply.
+type call struct {
+	ch chan result
+}
+
+// Client is a leased lock-service session: the client half of the session
+// protocol. Session.Lock returns canonical *resource.Lock handles whose
+// operations are forwarded to the attached arbiter; the client renews its
+// lease in the background and fails over along its arbiter list when the
+// connection dies.
+//
+// Failover semantics: reattaching to the *same* session (the arbiter kept
+// it alive within the lease grace window) preserves held locks. When the
+// session could not be preserved — the arbiter restarted, expired us, or a
+// different arbiter answered — every held lock is lost: the old arbiter
+// reclaims them at lease expiry, and Release on a lost handle returns
+// resource.ErrLockLost (the handle itself stays usable for re-acquisition).
+type Client struct {
+	cfg   ClientConfig
+	codec wire.Codec
+	mgr   *resource.Manager
+
+	mu sync.Mutex
+	// conn is the attached stream (nil while reconnecting); attachC is
+	// closed on every attach and terminal failure, and replaced on detach,
+	// so operations can wait for "attached or dead" without polling.
+	// attachArmed tracks whether attachC is still open (guards the close).
+	conn        *sessionConn
+	attachC     chan struct{}
+	attachArmed bool
+	// sessionID is the server-granted identity; sessionEpoch bumps whenever
+	// it changes, invalidating grants from earlier incarnations.
+	sessionID    uint64
+	sessionEpoch uint64
+	// serverHeld is the authoritative held-lock set from the last grant,
+	// consulted when retrying releases across a reattach.
+	serverHeld map[string]bool
+	leaseTTL   time.Duration
+	lastIn     time.Time
+	pending    map[uint64]*call
+	nextReq    uint64
+	instances  map[string]*clientInstance
+	err        error // terminal: ErrSessionLost or ErrClientClosed
+	closed     bool
+
+	stopC chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Dial establishes a session with the first reachable arbiter. The context
+// bounds only the initial attach; the returned client manages its own
+// lifetime afterwards.
+func Dial(ctx context.Context, cfg ClientConfig) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("session: no arbiter addresses")
+	}
+	codec, err := wire.ForName(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultClientLease
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	c := &Client{
+		cfg:         cfg,
+		codec:       codec,
+		attachC:     make(chan struct{}),
+		attachArmed: true,
+		serverHeld: make(map[string]bool),
+		pending:    make(map[uint64]*call),
+		instances:  make(map[string]*clientInstance),
+		stopC:      make(chan struct{}),
+	}
+	c.mgr = resource.NewManager(resource.Config{
+		Policy: cfg.Policy,
+		New: func(name string) (resource.Instance, error) {
+			inst := &clientInstance{c: c, name: name}
+			c.mu.Lock()
+			c.instances[name] = inst
+			c.mu.Unlock()
+			return inst, nil
+		},
+	})
+	c.wg.Add(1)
+	go c.run()
+	// Wait for the first attach (or terminal failure) before returning.
+	c.mu.Lock()
+	ch := c.attachC
+	c.mu.Unlock()
+	select {
+	case <-ch:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	case <-ctx.Done():
+		c.close(false)
+		return nil, ctx.Err()
+	}
+}
+
+// ID returns the current server-granted session identity (0 when detached
+// before the first grant).
+func (c *Client) ID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// Err returns the terminal error once the session is lost or closed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Lock returns the canonical handle for the named lock; operations on it
+// are served by the session's arbiter.
+func (c *Client) Lock(name string) (*resource.Lock, error) {
+	return c.mgr.Lock(name)
+}
+
+// Close ends the session in an orderly way: the arbiter releases every held
+// lock immediately instead of waiting out the lease.
+func (c *Client) Close() error {
+	c.close(true)
+	return nil
+}
+
+// Abandon kills the client without telling the arbiter — no bye, no
+// further keepalives — simulating a client crash: the session's locks are
+// reclaimed only when its lease expires. It exists for fault drills and
+// tests of the lease-reclaim bound.
+func (c *Client) Abandon() {
+	c.close(false)
+}
+
+func (c *Client) close(sendBye bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	conn := c.conn
+	id := c.sessionID
+	c.abortPendingLocked()
+	c.mu.Unlock()
+	if sendBye && conn != nil {
+		conn.send(envelope("", byeMsg{SessionID: id}))
+	}
+	close(c.stopC)
+	if conn != nil {
+		// The pump goroutine owns the full close; just unblock it.
+		conn.kill()
+	}
+	c.wg.Wait()
+	c.mgr.Close()
+}
+
+// abortPendingLocked wakes every in-flight call with a retry signal; the
+// caller holds c.mu. Operations re-check the client state before reissuing,
+// so terminal states surface as errors rather than loops.
+func (c *Client) abortPendingLocked() {
+	for id, cl := range c.pending {
+		delete(c.pending, id)
+		select {
+		case cl.ch <- result{retry: true}:
+		default:
+		}
+	}
+}
+
+// fail moves the client to a terminal state.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.abortPendingLocked()
+	// Wake waiters; attachC is never replaced after failure.
+	if c.attachArmed {
+		close(c.attachC)
+		c.attachArmed = false
+	}
+	c.mu.Unlock()
+}
+
+// run is the connection manager: dial, attach, pump frames, fail over.
+func (c *Client) run() {
+	defer c.wg.Done()
+	addrIdx := 0
+	var disconnectedAt time.Time
+	for {
+		select {
+		case <-c.stopC:
+			return
+		default:
+		}
+		sc, grant, err := c.dialOne(c.cfg.Addrs[addrIdx%len(c.cfg.Addrs)])
+		if err != nil {
+			addrIdx++
+			if disconnectedAt.IsZero() {
+				disconnectedAt = time.Now()
+			}
+			window := c.cfg.FailoverWindow
+			if window <= 0 {
+				c.mu.Lock()
+				ttl := c.leaseTTL
+				c.mu.Unlock()
+				if ttl <= 0 {
+					ttl = c.cfg.Lease
+				}
+				window = 3 * ttl
+			}
+			if time.Since(disconnectedAt) > window {
+				c.fail(ErrSessionLost)
+				return
+			}
+			select {
+			case <-c.stopC:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		disconnectedAt = time.Time{}
+		if !c.attach(sc, grant) {
+			sc.close()
+			return
+		}
+		c.pump(sc)
+		c.detach(sc)
+		sc.close()
+		disconnectedAt = time.Now()
+	}
+}
+
+// dialOne performs one dial + handshake + hello/grant exchange.
+func (c *Client) dialOne(addr string) (*sessionConn, grantMsg, error) {
+	c.mu.Lock()
+	id := c.sessionID
+	c.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, grantMsg{}, err
+	}
+	sc, err := clientHandshake(nc, c.codec, c.cfg.DialTimeout)
+	if err != nil {
+		nc.Close()
+		return nil, grantMsg{}, err
+	}
+	hello := helloMsg{SessionID: id, TTLMillis: uint64(c.cfg.Lease / time.Millisecond)}
+	if err := sc.send(envelope("", hello)); err != nil {
+		sc.close()
+		return nil, grantMsg{}, err
+	}
+	sc.c.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	env, err := sc.recv()
+	if err != nil {
+		sc.close()
+		return nil, grantMsg{}, err
+	}
+	grant, ok := env.Msg.(grantMsg)
+	if !ok {
+		sc.close()
+		return nil, grantMsg{}, fmt.Errorf("session: expected grant, got %T", env.Msg)
+	}
+	if grant.Err != "" {
+		sc.close()
+		return nil, grantMsg{}, fmt.Errorf("session: arbiter rejected hello: %s", grant.Err)
+	}
+	sc.c.SetReadDeadline(time.Time{})
+	return sc, grant, nil
+}
+
+// attach installs a freshly granted connection, reconciling session
+// identity and held-lock state, and wakes waiting operations. It reports
+// false when the client was closed concurrently.
+func (c *Client) attach(sc *sessionConn, grant grantMsg) bool {
+	var orphans []string
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.conn = sc
+	if grant.SessionID != c.sessionID {
+		// New session incarnation: grants from the old one are void. The
+		// old arbiter (if it still runs) reclaims its locks at lease
+		// expiry; held handles here report ErrLockLost on Release.
+		c.sessionID = grant.SessionID
+		c.sessionEpoch++
+	}
+	c.leaseTTL = time.Duration(grant.TTLMillis) * time.Millisecond
+	c.serverHeld = make(map[string]bool, len(grant.Held))
+	for _, name := range grant.Held {
+		c.serverHeld[name] = true
+		// A lock the server holds for us that no local handle believes it
+		// holds is an orphan: its grant reply was lost in flight. Release
+		// it so it cannot outlive this client's interest.
+		inst := c.instances[name]
+		if inst == nil || !inst.held || inst.heldEpoch != c.sessionEpoch {
+			orphans = append(orphans, name)
+		}
+	}
+	c.lastIn = time.Now()
+	c.abortPendingLocked()
+	if c.attachArmed {
+		close(c.attachC)
+		c.attachArmed = false
+	}
+	c.mu.Unlock()
+	for _, name := range orphans {
+		reqID := c.reserveReq()
+		sc.send(envelope(name, lockReqMsg{ReqID: reqID, Op: opRelease}))
+	}
+	return true
+}
+
+// detach clears the attached connection and arms a fresh attach barrier.
+func (c *Client) detach(sc *sessionConn) {
+	c.mu.Lock()
+	if c.conn == sc {
+		c.conn = nil
+		if c.err == nil && !c.closed {
+			c.attachC = make(chan struct{})
+			c.attachArmed = true
+		}
+		c.abortPendingLocked()
+	}
+	c.mu.Unlock()
+}
+
+// reserveReq allocates a client-unique request ID.
+func (c *Client) reserveReq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextReq++
+	return c.nextReq
+}
+
+// pump reads frames and drives keepalives until the connection dies.
+func (c *Client) pump(sc *sessionConn) {
+	stopKA := make(chan struct{})
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.keepaliveLoop(sc, stopKA)
+	}()
+	defer close(stopKA)
+	for {
+		env, err := sc.recv()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.lastIn = time.Now()
+		switch msg := env.Msg.(type) {
+		case keepaliveMsg:
+			c.mu.Unlock()
+		case lockRepMsg:
+			if cl := c.pending[msg.ReqID]; cl != nil {
+				delete(c.pending, msg.ReqID)
+				select {
+				case cl.ch <- result{rep: msg, sessionEpoch: c.sessionEpoch}:
+				default:
+				}
+			}
+			c.mu.Unlock()
+		case expireMsg:
+			// The arbiter expired us while attached: our locks are gone.
+			// Start over with a fresh session on the next attach.
+			c.sessionID = 0
+			c.sessionEpoch++
+			c.abortPendingLocked()
+			c.mu.Unlock()
+			return
+		default:
+			c.mu.Unlock()
+		}
+	}
+}
+
+// keepaliveLoop renews the lease and watches for a silent server: when
+// nothing — not even an echo — arrives within the granted TTL, the
+// connection is cut to force a failover.
+func (c *Client) keepaliveLoop(sc *sessionConn, stop chan struct{}) {
+	c.mu.Lock()
+	ttl := c.leaseTTL
+	id := c.sessionID
+	c.mu.Unlock()
+	interval := c.cfg.Keepalive
+	if interval <= 0 {
+		interval = ttl / 3
+	}
+	if interval <= 0 {
+		interval = DefaultClientLease / 3
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.stopC:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		stale := ttl > 0 && time.Since(c.lastIn) > ttl
+		c.mu.Unlock()
+		if stale {
+			sc.kill()
+			return
+		}
+		if err := sc.send(envelope("", keepaliveMsg{SessionID: id})); err != nil {
+			sc.kill()
+			return
+		}
+	}
+}
+
+// issue sends one lock request and waits for its reply. retry=true means
+// the connection turned over before a reply arrived and the caller should
+// re-evaluate and reissue; the request was not necessarily processed.
+func (c *Client) issue(ctx context.Context, name string, op byte) (rep lockRepMsg, epoch uint64, retry bool, err error) {
+	// Wait until attached (or a terminal state).
+	for {
+		c.mu.Lock()
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			return lockRepMsg{}, 0, false, err
+		}
+		if c.conn != nil {
+			break // mu still held
+		}
+		ch := c.attachC
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return lockRepMsg{}, 0, false, ctx.Err()
+		case <-c.stopC:
+			return lockRepMsg{}, 0, false, ErrClientClosed
+		}
+	}
+	sc := c.conn
+	c.nextReq++
+	reqID := c.nextReq
+	cl := &call{ch: make(chan result, 1)}
+	c.pending[reqID] = cl
+	c.mu.Unlock()
+	if err := sc.send(envelope(name, lockReqMsg{ReqID: reqID, Op: op})); err != nil {
+		// The connection is dying; the pump will notice. Treat as retry.
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return lockRepMsg{}, 0, true, nil
+	}
+	select {
+	case res := <-cl.ch:
+		if res.retry {
+			return lockRepMsg{}, 0, true, nil
+		}
+		return res.rep, res.sessionEpoch, false, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		conn := c.conn
+		c.mu.Unlock()
+		if op == opAcquire && conn != nil {
+			// Best-effort cancel: if the grant raced our cancellation the
+			// arbiter hands the lock straight back.
+			conn.send(envelope(name, lockReqMsg{ReqID: reqID, Op: opCancel}))
+		}
+		return lockRepMsg{}, 0, false, ctx.Err()
+	case <-c.stopC:
+		return lockRepMsg{}, 0, false, ErrClientClosed
+	}
+}
+
+// clientInstance adapts one named lock to the resource.Instance interface:
+// Acquire/Release forward to the arbiter; the local resource.Lock handle
+// provides the same local-queueing semantics as a peer deployment. held and
+// heldEpoch are guarded by the client's mutex.
+type clientInstance struct {
+	c    *Client
+	name string
+
+	held      bool
+	heldEpoch uint64
+}
+
+// Acquire forwards to the arbiter, reissuing across failovers until
+// granted, rejected, cancelled, or the client dies.
+func (ci *clientInstance) Acquire(ctx context.Context) error {
+	for {
+		rep, epoch, retry, err := ci.c.issue(ctx, ci.name, opAcquire)
+		if err != nil {
+			return err
+		}
+		if retry {
+			continue
+		}
+		if !rep.OK {
+			return fmt.Errorf("session: acquire %q: %s", ci.name, rep.Err)
+		}
+		ci.c.mu.Lock()
+		ci.held = true
+		ci.heldEpoch = epoch
+		ci.c.mu.Unlock()
+		return nil
+	}
+}
+
+// TryAcquire maps running out of time to (false, nil) per the Instance
+// contract.
+func (ci *clientInstance) TryAcquire(ctx context.Context) (bool, error) {
+	err := ci.Acquire(ctx)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Release forwards to the arbiter. A grant from an earlier session
+// incarnation is gone — the old arbiter reclaims it at lease expiry — and
+// reports resource.ErrLockLost; the handle stays usable.
+func (ci *clientInstance) Release() error {
+	for {
+		ci.c.mu.Lock()
+		if !ci.held {
+			ci.c.mu.Unlock()
+			return transport.ErrNotHeld
+		}
+		if ci.heldEpoch != ci.c.sessionEpoch {
+			ci.held = false
+			ci.c.mu.Unlock()
+			return resource.ErrLockLost
+		}
+		ci.c.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), writeTimeout)
+		rep, _, retry, err := ci.c.issue(ctx, ci.name, opRelease)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				continue // still trying; the held flag keeps this safe
+			}
+			return err
+		}
+		if retry {
+			// The connection turned over mid-release. The fresh grant's
+			// held set is authoritative: if the arbiter no longer lists
+			// the lock, the release (or a reclaim) already happened.
+			ci.c.mu.Lock()
+			if ci.heldEpoch == ci.c.sessionEpoch && !ci.c.serverHeld[ci.name] {
+				ci.held = false
+				ci.c.mu.Unlock()
+				return nil
+			}
+			ci.c.mu.Unlock()
+			continue
+		}
+		ci.c.mu.Lock()
+		ci.held = false
+		ci.c.mu.Unlock()
+		if !rep.OK {
+			return fmt.Errorf("session: release %q: %s", ci.name, rep.Err)
+		}
+		return nil
+	}
+}
+
+// Inject and InjectBatch are no-ops: clients are not protocol sites and
+// receive no peer envelopes.
+func (ci *clientInstance) Inject(env mutex.Envelope)         {}
+func (ci *clientInstance) InjectBatch(envs []mutex.Envelope) {}
+
+// Close is a no-op; the client's connection manager owns all resources.
+func (ci *clientInstance) Close() {}

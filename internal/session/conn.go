@@ -1,0 +1,161 @@
+package session
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/wire"
+)
+
+// The session handshake mirrors the transport's peer preamble but uses its
+// own magic so a client that dials a peer port (or vice versa) fails loudly
+// instead of desynchronizing two different stream grammars. Unlike peer
+// links — which are unidirectional, one encoder per outbound connection —
+// a session connection is duplex: the client opens with
+//
+//	0x00 'D' 'Q' 'S' <max version>
+//
+// and the server answers one byte, min(client max, server max); both sides
+// then stack an encoder *and* a decoder of the negotiated codec on the same
+// connection. There is no version-0 sniffing fallback: sessions postdate
+// the binary codec, so every client speaks the preamble.
+const (
+	preambleByte  = 0x00
+	preambleMagic = "DQS"
+)
+
+// writeTimeout bounds any single frame write so a dead client cannot wedge
+// an arbiter goroutine beyond it; the lease machinery handles the rest.
+const writeTimeout = 10 * time.Second
+
+// sessionConn is one negotiated duplex session stream. Reads are owned by a
+// single reader goroutine; sends are serialized by wmu so arbiter reply
+// goroutines and keepalive echoes can share the stream.
+//
+// Teardown is split in two: kill (safe from any goroutine) closes the
+// net.Conn to unblock the reader, while close — which also releases the
+// codecs' pooled scratch — must only run in the reader goroutine after its
+// recv loop exits, because decoders are not safe to close mid-Decode.
+type sessionConn struct {
+	c   net.Conn
+	bw  *bufio.Writer
+	enc wire.Encoder
+	dec wire.Decoder
+
+	wmu    sync.Mutex
+	closed bool // guarded by wmu; fences sends against encoder teardown
+}
+
+// clientHandshake negotiates the stream from the dialing side.
+func clientHandshake(c net.Conn, codec wire.Codec, timeout time.Duration) (*sessionConn, error) {
+	deadline := time.Now().Add(timeout)
+	if err := c.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	pre := []byte{preambleByte, preambleMagic[0], preambleMagic[1], preambleMagic[2], codec.Version()}
+	if _, err := c.Write(pre); err != nil {
+		return nil, fmt.Errorf("session: handshake write: %w", err)
+	}
+	var v [1]byte
+	if _, err := io.ReadFull(c, v[:]); err != nil {
+		return nil, fmt.Errorf("session: handshake read: %w", err)
+	}
+	if v[0] > codec.Version() {
+		return nil, fmt.Errorf("session: server answered version %d above our %d", v[0], codec.Version())
+	}
+	negotiated, err := wire.ForVersion(v[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return newSessionConn(c, negotiated), nil
+}
+
+// serverHandshake negotiates the stream from the accepting side. maxCodec
+// caps the version the server will speak.
+func serverHandshake(c net.Conn, maxCodec wire.Codec, timeout time.Duration) (*sessionConn, error) {
+	deadline := time.Now().Add(timeout)
+	if err := c.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	var pre [5]byte
+	if _, err := io.ReadFull(c, pre[:]); err != nil {
+		return nil, fmt.Errorf("session: preamble read: %w", err)
+	}
+	if pre[0] != preambleByte || string(pre[1:4]) != preambleMagic {
+		return nil, fmt.Errorf("session: bad preamble % x (not a session client)", pre[:4])
+	}
+	v := pre[4]
+	if v > maxCodec.Version() {
+		v = maxCodec.Version()
+	}
+	negotiated, err := wire.ForVersion(v)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write([]byte{v}); err != nil {
+		return nil, fmt.Errorf("session: handshake write: %w", err)
+	}
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return newSessionConn(c, negotiated), nil
+}
+
+func newSessionConn(c net.Conn, codec wire.Codec) *sessionConn {
+	bw := bufio.NewWriter(c)
+	return &sessionConn{
+		c:   c,
+		bw:  bw,
+		enc: codec.NewEncoder(bw),
+		dec: codec.NewDecoder(bufio.NewReader(c)),
+	}
+}
+
+// send encodes and flushes one frame. Safe for concurrent use.
+func (sc *sessionConn) send(env mutex.Envelope) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.closed {
+		return net.ErrClosed
+	}
+	sc.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if err := sc.enc.Encode(env); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// recv blocks for the next frame; only the owning reader goroutine calls it.
+func (sc *sessionConn) recv() (mutex.Envelope, error) {
+	return sc.dec.Decode()
+}
+
+// kill unblocks the reader from any goroutine; the reader then closes.
+func (sc *sessionConn) kill() {
+	sc.c.Close()
+}
+
+// close tears the stream down and returns pooled codec scratch. Reader
+// goroutine only (after its recv loop has exited).
+func (sc *sessionConn) close() {
+	sc.wmu.Lock()
+	if !sc.closed {
+		sc.closed = true
+		if cl, ok := sc.enc.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+	sc.wmu.Unlock()
+	if cl, ok := sc.dec.(io.Closer); ok {
+		cl.Close()
+	}
+	sc.c.Close()
+}

@@ -1,0 +1,597 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
+	"dqmx/internal/resource"
+	"dqmx/internal/wire"
+)
+
+// Locker is the arbiter-side lock surface the session server drives: any
+// source of canonical *resource.Lock handles. In production it is a
+// transport.TCPPeer; tests compose the server over one site of an
+// in-process cluster, which is what lets the lease⇄§6 composition run
+// under the chaos fabric.
+type Locker interface {
+	Lock(name string) (*resource.Lock, error)
+}
+
+// LockerFunc adapts a function to the Locker interface.
+type LockerFunc func(name string) (*resource.Lock, error)
+
+// Lock implements Locker.
+func (f LockerFunc) Lock(name string) (*resource.Lock, error) { return f(name) }
+
+// Server defaults.
+const (
+	// DefaultLease is the lease TTL granted when neither the server config
+	// nor the client's hello names one.
+	DefaultLease = 2 * time.Second
+	// DefaultMaxLease caps client-requested lease TTLs.
+	DefaultMaxLease = 30 * time.Second
+	// DefaultHandshakeTimeout bounds the preamble + hello exchange.
+	DefaultHandshakeTimeout = 5 * time.Second
+	// DefaultMaxPending is the per-session cap on in-flight acquires.
+	DefaultMaxPending = 128
+)
+
+// ServerConfig configures one arbiter's session server.
+type ServerConfig struct {
+	// Site identifies the arbiter in observability events.
+	Site mutex.SiteID
+	// Locks supplies the arbiter's lock handles (required).
+	Locks Locker
+	// Listener accepts client connections (required). The server owns it
+	// and closes it on Close.
+	Listener net.Listener
+	// Codec caps the wire version spoken to clients; nil means the default
+	// (binary). Accepted by name to mirror the transport's WireConfig.
+	Codec string
+	// Lease is the default lease TTL (DefaultLease when zero); MaxLease
+	// caps client-requested TTLs (DefaultMaxLease when zero).
+	Lease    time.Duration
+	MaxLease time.Duration
+	// HandshakeTimeout bounds the preamble + hello exchange.
+	HandshakeTimeout time.Duration
+	// MaxPending caps concurrently in-flight acquires per session.
+	MaxPending int
+	// Sink receives session lifecycle events (may be nil).
+	Sink obs.Sink
+}
+
+// Stats is a point-in-time copy of the server's session counters.
+type Stats struct {
+	// Active is the number of live sessions.
+	Active int
+	// Opened, Expired, Closed count session lifecycle transitions;
+	// Attaches counts connection attachments (opens plus reattaches).
+	Opened   uint64
+	Expired  uint64
+	Closed   uint64
+	Attaches uint64
+	// Reclaimed counts locks released on behalf of expired sessions.
+	Reclaimed uint64
+}
+
+// Server serves leased lock sessions for one arbiter site.
+type Server struct {
+	cfg   ServerConfig
+	codec wire.Codec
+	epoch time.Time
+
+	mu       sync.Mutex
+	sessions map[uint64]*serverSession
+	nextID   uint64
+	closed   bool
+	stats    Stats
+
+	stopC chan struct{}
+	wg    sync.WaitGroup
+}
+
+// serverSession is the arbiter-side session state. All fields below the
+// embedded identity are guarded by the owning Server's mutex.
+type serverSession struct {
+	id  uint64
+	ttl time.Duration
+
+	deadline time.Time
+	conn     *sessionConn
+	held     map[string]*resource.Lock
+	pending  map[uint64]*pendingOp
+	gone     bool // expired or closed; terminal
+
+	// ctx is the session-lifetime context: every pending acquire derives
+	// from it, so expiry cancels them all.
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// pendingOp tracks one in-flight acquire so a cancel (or expiry, or conn
+// detach) can abort it even when the protocol grant races the abort.
+type pendingOp struct {
+	cancel    context.CancelFunc
+	cancelled bool
+}
+
+// NewServer starts serving sessions on cfg.Listener.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Locks == nil {
+		return nil, errors.New("session: ServerConfig.Locks is required")
+	}
+	if cfg.Listener == nil {
+		return nil, errors.New("session: ServerConfig.Listener is required")
+	}
+	codec, err := wire.ForName(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultLease
+	}
+	if cfg.MaxLease <= 0 {
+		cfg.MaxLease = DefaultMaxLease
+	}
+	if cfg.MaxLease < cfg.Lease {
+		cfg.MaxLease = cfg.Lease
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	srv := &Server{
+		cfg:      cfg,
+		codec:    codec,
+		epoch:    time.Now(),
+		sessions: make(map[uint64]*serverSession),
+		// Session IDs start at a time-derived offset so IDs from a previous
+		// incarnation of this arbiter are unlikely to alias into the new
+		// table when a client reattaches across a restart.
+		nextID: uint64(time.Now().UnixNano()),
+		stopC:  make(chan struct{}),
+	}
+	srv.wg.Add(2)
+	go srv.acceptLoop()
+	go srv.leaseLoop()
+	return srv, nil
+}
+
+// Addr returns the client-facing listen address.
+func (srv *Server) Addr() net.Addr { return srv.cfg.Listener.Addr() }
+
+// Stats returns a copy of the session counters.
+func (srv *Server) Stats() Stats {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	s := srv.stats
+	s.Active = len(srv.sessions)
+	return s
+}
+
+// now returns the server-relative event timestamp.
+func (srv *Server) now() int64 { return int64(time.Since(srv.epoch)) }
+
+// emit reports one session lifecycle event.
+func (srv *Server) emit(t obs.EventType, resource string) {
+	if srv.cfg.Sink != nil {
+		srv.cfg.Sink(obs.Event{Type: t, Site: srv.cfg.Site, Time: srv.now(), Resource: resource})
+	}
+}
+
+func (srv *Server) acceptLoop() {
+	defer srv.wg.Done()
+	for {
+		c, err := srv.cfg.Listener.Accept()
+		if err != nil {
+			select {
+			case <-srv.stopC:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		srv.wg.Add(1)
+		go srv.handleConn(c)
+	}
+}
+
+// leaseLoop is the expiry scanner: it sweeps the session table and expires
+// every session whose lease ran out, reclaiming its locks.
+func (srv *Server) leaseLoop() {
+	defer srv.wg.Done()
+	tick := srv.cfg.Lease / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-srv.stopC:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var expired []*serverSession
+		srv.mu.Lock()
+		for _, s := range srv.sessions {
+			if now.After(s.deadline) {
+				expired = append(expired, s)
+			}
+		}
+		srv.mu.Unlock()
+		for _, s := range expired {
+			srv.teardown(s, true, "lease expired")
+		}
+	}
+}
+
+// teardown ends a session: expiry (reclaim accounting, expire notice) or
+// orderly close. Idempotent; the lock reclaims re-enter the quorum protocol
+// as ordinary releases, so the next waiter is granted through the normal
+// transfer path.
+func (srv *Server) teardown(s *serverSession, expired bool, reason string) {
+	srv.mu.Lock()
+	if s.gone {
+		srv.mu.Unlock()
+		return
+	}
+	s.gone = true
+	delete(srv.sessions, s.id)
+	for _, op := range s.pending {
+		op.cancelled = true
+		op.cancel()
+	}
+	held := s.held
+	s.held = nil
+	conn := s.conn
+	s.conn = nil
+	if expired {
+		srv.stats.Expired++
+		srv.stats.Reclaimed += uint64(len(held))
+	} else {
+		srv.stats.Closed++
+	}
+	srv.mu.Unlock()
+	s.cancel()
+	for name, h := range held {
+		h.Release()
+		if expired {
+			srv.emit(obs.EventLockReclaim, name)
+		}
+	}
+	if expired {
+		srv.emit(obs.EventSessionExpire, "")
+	} else {
+		srv.emit(obs.EventSessionClose, "")
+	}
+	if conn != nil {
+		if expired {
+			conn.send(envelope("", expireMsg{SessionID: s.id, Reason: reason}))
+		}
+		// The conn's read loop owns the full close; just unblock it.
+		conn.kill()
+	}
+}
+
+// handleConn negotiates one client connection, binds it to a session (new
+// or reattached), and runs its read loop.
+func (srv *Server) handleConn(c net.Conn) {
+	defer srv.wg.Done()
+	sc, err := serverHandshake(c, srv.codec, srv.cfg.HandshakeTimeout)
+	if err != nil {
+		c.Close()
+		return
+	}
+	// The hello must arrive within the handshake window too.
+	sc.c.SetReadDeadline(time.Now().Add(srv.cfg.HandshakeTimeout))
+	env, err := sc.recv()
+	if err != nil {
+		sc.close()
+		return
+	}
+	hello, ok := env.Msg.(helloMsg)
+	if !ok {
+		sc.send(envelope("", grantMsg{Err: fmt.Sprintf("expected hello, got %T", env.Msg)}))
+		sc.close()
+		return
+	}
+	sc.c.SetReadDeadline(time.Time{})
+	s, grant := srv.attach(sc, hello)
+	if s == nil {
+		sc.send(envelope("", grant))
+		sc.close()
+		return
+	}
+	if err := sc.send(envelope("", grant)); err != nil {
+		srv.detach(s, sc)
+		sc.close()
+		return
+	}
+	srv.readLoop(s, sc)
+}
+
+// attach binds a negotiated connection to a session: reattach when the
+// hello names a live session, otherwise a fresh session (the authoritative
+// ID rides back in the grant; a client that asked for a dead session learns
+// its locks are gone by seeing a different ID).
+func (srv *Server) attach(sc *sessionConn, hello helloMsg) (*serverSession, grantMsg) {
+	ttl := srv.cfg.Lease
+	if hello.TTLMillis > 0 {
+		ttl = time.Duration(hello.TTLMillis) * time.Millisecond
+		if ttl > srv.cfg.MaxLease {
+			ttl = srv.cfg.MaxLease
+		}
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return nil, grantMsg{Err: "server shutting down"}
+	}
+	if s := srv.sessions[hello.SessionID]; s != nil && !s.gone {
+		// Reattach: adopt the new connection. The old connection (if any)
+		// is closed; its read loop will observe the swap and stand down.
+		// In-flight acquires issued over the old connection are cancelled —
+		// their replies can no longer be correlated, and the client will
+		// reissue anything still wanted. The grant's Held list lets it
+		// reconcile grants whose replies were lost.
+		if s.conn != nil && s.conn != sc {
+			s.conn.kill()
+		}
+		s.conn = sc
+		for _, op := range s.pending {
+			op.cancelled = true
+			op.cancel()
+		}
+		s.deadline = time.Now().Add(s.ttl)
+		srv.stats.Attaches++
+		held := make([]string, 0, len(s.held))
+		for name := range s.held {
+			held = append(held, name)
+		}
+		sort.Strings(held)
+		return s, grantMsg{SessionID: s.id, TTLMillis: uint64(s.ttl / time.Millisecond), Held: held}
+	}
+	id := srv.nextID
+	srv.nextID++
+	if id == 0 {
+		id = srv.nextID
+		srv.nextID++
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &serverSession{
+		id:       id,
+		ttl:      ttl,
+		deadline: time.Now().Add(ttl),
+		conn:     sc,
+		held:     make(map[string]*resource.Lock),
+		pending:  make(map[uint64]*pendingOp),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	srv.sessions[id] = s
+	srv.stats.Opened++
+	srv.stats.Attaches++
+	srv.emitLocked(obs.EventSessionOpen)
+	return s, grantMsg{SessionID: id, TTLMillis: uint64(ttl / time.Millisecond)}
+}
+
+// emitLocked emits with srv.mu held (the sink must not call back).
+func (srv *Server) emitLocked(t obs.EventType) {
+	if srv.cfg.Sink != nil {
+		srv.cfg.Sink(obs.Event{Type: t, Site: srv.cfg.Site, Time: srv.now()})
+	}
+}
+
+// detach unbinds a dead connection from its session. The session itself
+// survives until its lease runs out (the reconnect grace window); pending
+// acquires die with the connection that carried them.
+func (srv *Server) detach(s *serverSession, sc *sessionConn) {
+	srv.mu.Lock()
+	if s.conn == sc {
+		s.conn = nil
+		for _, op := range s.pending {
+			op.cancelled = true
+			op.cancel()
+		}
+	}
+	srv.mu.Unlock()
+}
+
+// readLoop dispatches one connection's frames until it dies.
+func (srv *Server) readLoop(s *serverSession, sc *sessionConn) {
+	defer func() {
+		srv.detach(s, sc)
+		sc.close()
+	}()
+	for {
+		env, err := sc.recv()
+		if err != nil {
+			return
+		}
+		srv.mu.Lock()
+		if s.gone || s.conn != sc {
+			srv.mu.Unlock()
+			return
+		}
+		// Any frame from the client renews the lease.
+		s.deadline = time.Now().Add(s.ttl)
+		srv.mu.Unlock()
+		switch msg := env.Msg.(type) {
+		case keepaliveMsg:
+			sc.send(envelope("", keepaliveMsg{SessionID: s.id}))
+		case lockReqMsg:
+			srv.handleLockReq(s, sc, env.Resource, msg)
+		case byeMsg:
+			srv.teardown(s, false, "client close")
+			return
+		case helloMsg:
+			// Duplicate hello on a live stream: answer idempotently.
+			srv.mu.Lock()
+			held := make([]string, 0, len(s.held))
+			for name := range s.held {
+				held = append(held, name)
+			}
+			sort.Strings(held)
+			ttl := s.ttl
+			srv.mu.Unlock()
+			sc.send(envelope("", grantMsg{SessionID: s.id, TTLMillis: uint64(ttl / time.Millisecond), Held: held}))
+		default:
+			// Unknown-but-decodable frames are ignored for forward compat.
+		}
+	}
+}
+
+// handleLockReq processes one acquire/release/cancel.
+func (srv *Server) handleLockReq(s *serverSession, sc *sessionConn, name string, req lockReqMsg) {
+	switch req.Op {
+	case opAcquire:
+		srv.mu.Lock()
+		if s.gone {
+			srv.mu.Unlock()
+			return
+		}
+		if _, dup := s.held[name]; dup {
+			srv.mu.Unlock()
+			srv.reply(s, lockRepMsg{ReqID: req.ReqID, Err: "lock already held by this session"})
+			return
+		}
+		if len(s.pending) >= srv.cfg.MaxPending {
+			srv.mu.Unlock()
+			srv.reply(s, lockRepMsg{ReqID: req.ReqID, Err: "too many in-flight acquires"})
+			return
+		}
+		ctx, cancel := context.WithCancel(s.ctx)
+		op := &pendingOp{cancel: cancel}
+		s.pending[req.ReqID] = op
+		srv.mu.Unlock()
+		srv.wg.Add(1)
+		go srv.runAcquire(s, name, req.ReqID, op, ctx)
+	case opRelease:
+		srv.mu.Lock()
+		h := s.held[name]
+		delete(s.held, name)
+		srv.mu.Unlock()
+		if h == nil {
+			srv.reply(s, lockRepMsg{ReqID: req.ReqID, Err: "lock not held by this session"})
+			return
+		}
+		if err := h.Release(); err != nil {
+			srv.reply(s, lockRepMsg{ReqID: req.ReqID, Err: err.Error()})
+			return
+		}
+		srv.reply(s, lockRepMsg{ReqID: req.ReqID, OK: true})
+	case opCancel:
+		// The acquire goroutine owns the reply; cancelling twice is fine.
+		srv.mu.Lock()
+		if op := s.pending[req.ReqID]; op != nil {
+			op.cancelled = true
+			op.cancel()
+		}
+		srv.mu.Unlock()
+	}
+}
+
+// runAcquire drives one client acquire through the arbiter's quorum
+// protocol. The grant can race cancellation and lease expiry; whoever wins,
+// a granted-but-unwanted lock is always handed straight back (the protocol
+// treats it as an ordinary release, preserving the transfer-path handoff).
+func (srv *Server) runAcquire(s *serverSession, name string, reqID uint64, op *pendingOp, ctx context.Context) {
+	defer srv.wg.Done()
+	h, err := srv.cfg.Locks.Lock(name)
+	if err != nil {
+		srv.mu.Lock()
+		delete(s.pending, reqID)
+		srv.mu.Unlock()
+		srv.reply(s, lockRepMsg{ReqID: reqID, Err: err.Error()})
+		return
+	}
+	err = h.Acquire(ctx)
+	srv.mu.Lock()
+	delete(s.pending, reqID)
+	if err != nil {
+		srv.mu.Unlock()
+		srv.reply(s, lockRepMsg{ReqID: reqID, Err: acquireErrString(err, op)})
+		return
+	}
+	if s.gone || op.cancelled {
+		// Granted, but the session expired or the client cancelled while
+		// the quorum was deciding: hand the lock straight back.
+		gone := s.gone
+		srv.mu.Unlock()
+		h.Release()
+		if gone {
+			srv.mu.Lock()
+			srv.stats.Reclaimed++
+			srv.mu.Unlock()
+			srv.emit(obs.EventLockReclaim, name)
+			return
+		}
+		srv.reply(s, lockRepMsg{ReqID: reqID, Err: "acquire cancelled"})
+		return
+	}
+	s.held[name] = h
+	srv.mu.Unlock()
+	srv.reply(s, lockRepMsg{ReqID: reqID, OK: true})
+}
+
+// acquireErrString folds context cancellation into a stable client-facing
+// reason.
+func acquireErrString(err error, op *pendingOp) string {
+	if errors.Is(err, context.Canceled) {
+		if op.cancelled {
+			return "acquire cancelled"
+		}
+		return "session ended"
+	}
+	return err.Error()
+}
+
+// reply sends one lock reply over the session's current connection (which
+// may differ from the one that carried the request after a reattach; reqIDs
+// are client-unique, so late replies route or are dropped client-side).
+func (srv *Server) reply(s *serverSession, rep lockRepMsg) {
+	srv.mu.Lock()
+	sc := s.conn
+	srv.mu.Unlock()
+	if sc != nil {
+		sc.send(envelope("", rep))
+	}
+}
+
+// Close stops accepting, ends every session (orderly: held locks are
+// released so waiters elsewhere are not stranded), and waits for the
+// server's goroutines.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		srv.wg.Wait()
+		return
+	}
+	srv.closed = true
+	sessions := make([]*serverSession, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	close(srv.stopC)
+	srv.cfg.Listener.Close()
+	for _, s := range sessions {
+		srv.teardown(s, false, "server shutdown")
+	}
+	srv.wg.Wait()
+}

@@ -1,0 +1,432 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dqmx/internal/chaos"
+	"dqmx/internal/core"
+	"dqmx/internal/mutex"
+	"dqmx/internal/obs"
+	"dqmx/internal/resource"
+	"dqmx/internal/transport"
+)
+
+// startArbiters builds an n-site in-process cluster (optionally under a
+// chaos plan) and runs a session server bound to each of the given sites.
+func startArbiters(t *testing.T, n int, sites []int, lease time.Duration, plan *chaos.Plan, sink obs.Sink) (addrs []string, srvs []*Server) {
+	t.Helper()
+	cluster, err := transport.NewClusterConfig(transport.ClusterConfig{
+		Algorithm: core.Algorithm{},
+		N:         n,
+		Chaos:     plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	for _, site := range sites {
+		site := site
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(ServerConfig{
+			Site: mutex.SiteID(site),
+			Locks: LockerFunc(func(name string) (*resource.Lock, error) {
+				return cluster.Lock(mutex.SiteID(site), name)
+			}),
+			Listener: ln,
+			Lease:    lease,
+			Sink:     sink,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, ln.Addr().String())
+		srvs = append(srvs, srv)
+	}
+	return addrs, srvs
+}
+
+func dialClient(t *testing.T, addrs []string, lease time.Duration) *Client {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, ClientConfig{Addrs: addrs, Lease: lease})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSessionAcquireRelease(t *testing.T) {
+	addrs, srvs := startArbiters(t, 3, []int{0}, time.Second, nil, nil)
+	c := dialClient(t, addrs, time.Second)
+	if c.ID() == 0 {
+		t.Fatal("no session id after Dial")
+	}
+	l, err := c.Lock("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Release without a hold must report not-held, like a peer deployment.
+	if err := l.Release(); !errors.Is(err, transport.ErrNotHeld) {
+		t.Fatalf("double release: got %v, want ErrNotHeld", err)
+	}
+	// Do pairs acquire/release.
+	if err := l.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := srvs[0].Stats()
+	if st.Opened != 1 || st.Active != 1 {
+		t.Fatalf("stats = %+v, want 1 opened / 1 active", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The bye is processed asynchronously server-side.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = srvs[0].Stats()
+		if st.Closed == 1 && st.Active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats after close = %+v, want 1 closed / 0 active", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Operations after Close fail fast.
+	if err := l.Acquire(context.Background()); err == nil {
+		t.Fatal("acquire on closed client succeeded")
+	}
+}
+
+func TestSessionMutualExclusion(t *testing.T) {
+	addrs, _ := startArbiters(t, 3, []int{0, 1}, 2*time.Second, nil, nil)
+	const (
+		clients = 8
+		rounds  = 10
+	)
+	var (
+		counter int // deliberately unsynchronized; the lock must protect it
+		inCS    atomic.Int32
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < clients; i++ {
+		// Spread clients across both arbiters.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dialClient(t, []string{addrs[i%len(addrs)]}, 2*time.Second)
+			l, err := c.Lock("ctr")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				err := l.Do(context.Background(), func(context.Context) error {
+					if inCS.Add(1) != 1 {
+						t.Error("mutual exclusion violated")
+					}
+					counter++
+					inCS.Add(-1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counter != clients*rounds {
+		t.Fatalf("counter = %d, want %d", counter, clients*rounds)
+	}
+}
+
+func TestLeaseExpiryReclaim(t *testing.T) {
+	const lease = 300 * time.Millisecond
+	metrics := obs.NewMetrics()
+	addrs, srvs := startArbiters(t, 3, []int{0, 1}, lease, nil, metrics.Observe)
+
+	holder := dialClient(t, []string{addrs[0]}, lease)
+	l, err := holder.Lock("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := dialClient(t, []string{addrs[1]}, lease)
+	wl, err := waiter.Lock("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		acquired <- wl.Acquire(ctx)
+	}()
+	// Give the waiter time to queue behind the holder.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-acquired:
+		t.Fatalf("waiter acquired while holder alive: %v", err)
+	default:
+	}
+
+	// Crash the holder: no bye, no release, keepalives stop.
+	start := time.Now()
+	holder.Abandon()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("waiter never granted after holder crash")
+	}
+	elapsed := time.Since(start)
+	// The bounded-reclaim guarantee: lease TTL + scanner tick + protocol
+	// handoff, with generous CI slack.
+	if bound := lease + 3*time.Second; elapsed > bound {
+		t.Fatalf("reclaim took %v, want <= %v", elapsed, bound)
+	}
+	st := srvs[0].Stats()
+	if st.Expired == 0 || st.Reclaimed == 0 {
+		t.Fatalf("arbiter stats = %+v, want expiry + reclaim recorded", st)
+	}
+	snap := metrics.Snapshot()
+	if snap.Sessions.Expired == 0 || snap.Sessions.LocksReclaimed == 0 {
+		t.Fatalf("metrics sessions = %+v, want expiry + reclaim events", snap.Sessions)
+	}
+	if err := wl.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReattachPreservesLocks(t *testing.T) {
+	addrs, srvs := startArbiters(t, 3, []int{0}, time.Second, nil, nil)
+	c := dialClient(t, addrs, time.Second)
+	l, err := c.Lock("sticky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	id := c.ID()
+
+	// Cut the connection out from under the client; it must reattach to
+	// the same session within the lease grace window.
+	c.mu.Lock()
+	sc := c.conn
+	c.mu.Unlock()
+	sc.c.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		attached := c.conn != nil
+		c.mu.Unlock()
+		if attached {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reattached")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := c.ID(); got != id {
+		t.Fatalf("session id changed across reattach: %d -> %d", id, got)
+	}
+	// The lock survived: release must succeed (not ErrLockLost).
+	if err := l.Release(); err != nil {
+		t.Fatalf("release after reattach: %v", err)
+	}
+	if st := srvs[0].Stats(); st.Attaches < 2 {
+		t.Fatalf("stats = %+v, want >= 2 attaches", st)
+	}
+}
+
+func TestFailoverToSecondArbiter(t *testing.T) {
+	addrs, srvs := startArbiters(t, 3, []int{0, 1}, 500*time.Millisecond, nil, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, ClientConfig{Addrs: addrs, Lease: 500 * time.Millisecond, FailoverWindow: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	l, err := c.Lock("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	oldID := c.ID()
+
+	// Kill the arbiter the client is attached to. Its orderly shutdown
+	// releases the session's locks; the client must fail over to the
+	// second arbiter with a fresh session.
+	srvs[0].Close()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for c.ID() == oldID || c.ID() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never failed over (id still %d)", c.ID())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The old grant is void: Release reports the loss, then the handle is
+	// reusable through the new arbiter.
+	if err := l.Release(); !errors.Is(err, resource.ErrLockLost) {
+		t.Fatalf("release after failover: got %v, want ErrLockLost", err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("re-acquire through new arbiter: %v", err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryAcquireContention(t *testing.T) {
+	addrs, _ := startArbiters(t, 3, []int{0}, time.Second, nil, nil)
+	a := dialClient(t, addrs, time.Second)
+	b := dialClient(t, addrs, time.Second)
+	la, err := a.Lock("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := b.Lock("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	ok, err := lb.TryAcquire(ctx)
+	cancel()
+	if err != nil || ok {
+		t.Fatalf("TryAcquire on held lock = (%v, %v), want (false, nil)", ok, err)
+	}
+	if err := la.Release(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	ok, err = lb.TryAcquire(ctx)
+	cancel()
+	if err != nil || !ok {
+		t.Fatalf("TryAcquire on free lock = (%v, %v), want (true, nil)", ok, err)
+	}
+	if err := lb.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPreambleRejected(t *testing.T) {
+	addrs, srvs := startArbiters(t, 3, []int{0}, time.Second, nil, nil)
+	nc, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("GET / HTTP/1.0\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	if _, err := nc.Read(buf); err == nil {
+		// Any bytes back would mean the server spoke to a non-client.
+		t.Fatal("server answered a bad preamble")
+	}
+	// The server survives hostile connections.
+	c := dialClient(t, addrs, time.Second)
+	if c.ID() == 0 {
+		t.Fatal("no session after hostile connection")
+	}
+	if st := srvs[0].Stats(); st.Opened != 1 {
+		t.Fatalf("stats = %+v, want exactly the one real session", st)
+	}
+}
+
+// TestChaosLeaseRecoveryComposition is the lease-expiry ⇄ §6 recovery
+// composition drill: under a seeded chaos fabric (drops + delay — the
+// reliable sublayer heals the loss), a client crashes mid-hold and a waiter
+// on another arbiter must be re-granted within the lease + recovery bound.
+// Swept over several seeds; `make race` runs it under -race.
+func TestChaosLeaseRecoveryComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short")
+	}
+	const lease = 250 * time.Millisecond
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := &chaos.Plan{
+				Seed:     seed,
+				Drop:     0.05,
+				MaxDelay: 2 * time.Millisecond,
+			}
+			addrs, _ := startArbiters(t, 3, []int{0, 1}, lease, plan, nil)
+			holder := dialClient(t, []string{addrs[0]}, lease)
+			hl, err := holder.Lock("shared")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hl.Acquire(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			waiter := dialClient(t, []string{addrs[1]}, lease)
+			wl, err := waiter.Lock("shared")
+			if err != nil {
+				t.Fatal(err)
+			}
+			acquired := make(chan error, 1)
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				defer cancel()
+				acquired <- wl.Acquire(ctx)
+			}()
+			time.Sleep(50 * time.Millisecond)
+			start := time.Now()
+			holder.Abandon()
+			select {
+			case err := <-acquired:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(20 * time.Second):
+				t.Fatal("waiter never granted after crash under chaos")
+			}
+			if elapsed, bound := time.Since(start), lease+5*time.Second; elapsed > bound {
+				t.Fatalf("reclaim under chaos took %v, want <= %v", elapsed, bound)
+			}
+			if err := wl.Release(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -34,13 +34,6 @@ func init() {
 		})
 }
 
-// RegisterGobMessages is a no-op kept for source compatibility.
-//
-// Deprecated: the transport's wire messages (and mutex.FailureMsg) register
-// themselves with both codecs when this package is imported; there is no
-// longer a separate registration step to perform.
-func RegisterGobMessages() {}
-
 // KillSite simulates a crash in an in-process cluster: every protocol
 // instance hosted at the site — the default resource and all named locks —
 // stops immediately and, after detectAfter, every surviving site receives a

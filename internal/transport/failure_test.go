@@ -74,8 +74,6 @@ func TestKillSiteWithoutRecoveryBlocks(t *testing.T) {
 // TestTCPDetector: heartbeat detection over real TCP — when one peer dies,
 // the others declare it and the recovery protocol keeps the mutex usable.
 func TestTCPDetector(t *testing.T) {
-	core.RegisterGobMessages()
-	transport.RegisterGobMessages()
 	const n = 3
 	alg := core.Algorithm{Construction: coterie.Majority{}}
 

@@ -355,8 +355,6 @@ func TestTransportTrafficExcludedFromCounts(t *testing.T) {
 // Acquire/Release round must still complete well within its deadline,
 // carried by retransmission.
 func TestTCPReliableUnderDrops(t *testing.T) {
-	core.RegisterGobMessages()
-	RegisterGobMessages()
 	const n = 2
 	alg := core.Algorithm{Construction: coterie.Majority{}}
 	sites, err := alg.NewSites(n)

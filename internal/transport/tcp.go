@@ -33,11 +33,6 @@ type TCPConfig struct {
 	Policy resource.Policy
 	// Wire configures the byte layer: codec, link delay, reconnect policy.
 	Wire WireConfig
-	// LinkDelay is a deprecated alias for Wire.LinkDelay.
-	//
-	// Deprecated: set Wire.LinkDelay. When both are set, Wire.LinkDelay
-	// wins.
-	LinkDelay time.Duration
 }
 
 // TCPPeer hosts one site of a cluster spread across processes or machines
@@ -107,9 +102,6 @@ func NewTCPPeerObserved(site mutex.Site, listenAddr string, peers map[mutex.Site
 
 // NewTCPPeerConfig starts a multi-resource peer with explicit configuration.
 func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
-	if cfg.Wire.LinkDelay == 0 {
-		cfg.Wire.LinkDelay = cfg.LinkDelay // deprecated-field shim
-	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)

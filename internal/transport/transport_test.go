@@ -138,7 +138,6 @@ func TestNodeCloseUnblocks(t *testing.T) {
 
 // TestTCPCluster runs a three-site cluster over real loopback TCP.
 func TestTCPCluster(t *testing.T) {
-	core.RegisterGobMessages()
 	const n = 3
 	alg := core.Algorithm{Construction: coterie.Majority{}}
 	sites, err := alg.NewSites(n)

@@ -179,7 +179,7 @@ func decodeMessage(r *Reader) (mutex.Message, error) {
 // Tags reserved for transport- and mutex-level payloads. Protocol packages
 // own their own disjoint ranges (core: 1–7, lamport: 16–18,
 // ricart-agrawala: 20–21, maekawa: 24–29, singhal: 32–33,
-// suzuki-kasami: 36–37, raymond: 40–41).
+// suzuki-kasami: 36–37, raymond: 40–41, session: 48–55).
 const (
 	// TagHeartbeat is claimed by internal/transport for its liveness probe.
 	TagHeartbeat byte = 8
