@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos soak fuzz bench bench-smoke bench-codec bench-sim tables fmt apicheck apibase
+.PHONY: check vet build test race chaos soak fuzz modelcheck modelcheck-soak bench bench-smoke bench-codec bench-sim tables fmt apicheck apibase
 
 # The standard gate: what CI and pre-commit should run. race already runs
 # the full seeded conformance sweep (internal/chaos/sweep) under -race;
-# chaos adds the short fuzz smoke on top, bench-smoke the seconds-long live
-# benchmark conformance check (T-vs-2T A/B on both fabrics); apicheck fails
-# on any drift of the root package's exported surface from api/dqmx.api.
-check: vet build apicheck race chaos bench-smoke
+# chaos adds the short fuzz smoke on top, modelcheck the exhaustive small-N
+# schedule enumeration, bench-smoke the seconds-long live benchmark
+# conformance check (T-vs-2T A/B on both fabrics); apicheck fails on any
+# drift of the root package's exported surface from api/dqmx.api.
+check: vet build apicheck race chaos modelcheck bench-smoke
 
 # Exported-API gate: cmd/apisnap re-derives the root package's surface and
 # diffs it against the checked-in baseline. An intentional API change is a
@@ -37,10 +38,25 @@ race:
 # decoders plus the gob-vs-binary differential. Replay a failing schedule with
 #   DQMX_CHAOS_SEED=<seed> $(GO) test -race -run TestChaosConformance ./internal/chaos/sweep
 chaos:
-	$(GO) test -race -short -run 'TestChaosConformance|TestLossyLiveness' ./internal/chaos/sweep
+	$(GO) test -race -short -run 'TestChaosConformance|TestLossyLiveness|TestSessionConformance' ./internal/chaos/sweep
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/transport
 	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 10s ./internal/transport
 	$(GO) test -run FuzzCodecDifferential -fuzz FuzzCodecDifferential -fuzztime 10s ./internal/core
+	$(GO) test -run FuzzSessionFrame -fuzz FuzzSessionFrame -fuzztime 10s ./internal/session
+
+# Exhaustive small-N model checking: every schedule of delivery, request,
+# exit, crash, and crash-loss over the protocol state machine, with the
+# conformance invariants asserted on every transition (internal/modelcheck).
+# The short run is the CI budget; modelcheck-soak widens to the crash spaces
+# and two-round runs, and cmd/dqmcheck explores single configurations with
+# custom budgets.
+modelcheck:
+	$(GO) test -short -run TestExhaustive -count=1 -timeout 10m ./internal/modelcheck
+
+modelcheck-soak:
+	$(GO) test -run TestExhaustive -count=1 -timeout 60m ./internal/modelcheck
+	$(GO) run ./cmd/dqmcheck -n 4 -quorum majority -requesters 0,1,2 -bound=false -max-states 5e6
+	$(GO) run ./cmd/dqmcheck -n 5 -quorum tree -requesters 0,4 -crashes 1 -bound=false -max-states 5e6
 
 # Long adversarial soak: 10x the sweep plus model-boundary probes.
 soak:
@@ -51,6 +67,7 @@ fuzz:
 	$(GO) test -run FuzzEnvelopeDecode -fuzz FuzzEnvelopeDecode -fuzztime 5m ./internal/transport
 	$(GO) test -run FuzzAckFrameDecode -fuzz FuzzAckFrameDecode -fuzztime 5m ./internal/transport
 	$(GO) test -run FuzzCodecDifferential -fuzz FuzzCodecDifferential -fuzztime 5m ./internal/core
+	$(GO) test -run FuzzSessionFrame -fuzz FuzzSessionFrame -fuzztime 5m ./internal/session
 
 # Live-cluster benchmark sweep: real deployments (in-process and loopback
 # TCP) under the loadgen lab, including the transfer-vs-2T-fallback A/B.

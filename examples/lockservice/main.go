@@ -1,53 +1,94 @@
-// Lock service: embeds the distributed mutex behind a tiny HTTP API — the
-// shape of a production lock manager. Each HTTP worker acts as one site of
-// the cluster; POST /lock blocks until the caller holds the global lock and
-// returns a fencing token, POST /unlock releases it. The demo drives the API
-// with concurrent clients and verifies the fencing tokens are strictly
-// monotonic (no two holders ever overlapped).
+// Lock service: a real arbiter coterie on loopback TCP serving leased lock
+// sessions — the production deployment shape. Three arbiters run the quorum
+// protocol among themselves (Serve); clients attach over the session
+// protocol (Dial), acquire a named lock, and do fenced writes against a
+// shared store using the session-epoch fencing token surfaced in the grant
+// (Session.Fence).
+//
+// The demo has two acts:
+//
+//  1. Mutual exclusion: concurrent clients spread across the arbiters bump
+//     an unsynchronized counter inside the critical section; the final
+//     count proves no two holders ever overlapped.
+//  2. Fencing: a holder "stalls" (its keepalives stop, as if paused or
+//     partitioned), its lease expires and the arbiter reclaims the lock.
+//     The next holder's grant carries a strictly larger fencing token, so
+//     the store — which refuses tokens older than the newest it has seen —
+//     rejects the stale holder's late write.
 package main
 
 import (
 	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
-	"net/http/httptest"
-	"sort"
-	"strconv"
 	"sync"
 	"time"
 
 	"dqmx"
 )
 
-// lockServer exposes one site of the cluster over HTTP.
-type lockServer struct {
-	node  *dqmx.Node
-	mu    sync.Mutex // local guard for the fencing counter
-	fence *int64     // shared across servers: only touched while holding the distributed lock
+// fencedStore is the resource the lock protects: it remembers the largest
+// fencing token that ever wrote and refuses anything older, so a client
+// that lost its lease — but has not yet noticed — cannot clobber the
+// current holder's writes.
+type fencedStore struct {
+	mu        sync.Mutex
+	lastFence uint64
+	value     string
 }
 
-func (s *lockServer) handleLock(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-	defer cancel()
-	if err := s.node.Acquire(ctx); err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
+func (s *fencedStore) Write(fence uint64, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fence < s.lastFence {
+		return fmt.Errorf("stale fencing token %d (newest seen %d)", fence, s.lastFence)
 	}
-	// Critical section: mint the next fencing token. The distributed mutex,
-	// not the local one, is what makes this safe across servers.
-	*s.fence++
-	fmt.Fprintf(w, "%d", *s.fence)
+	s.lastFence = fence
+	s.value = value
+	return nil
 }
 
-func (s *lockServer) handleUnlock(w http.ResponseWriter, r *http.Request) {
-	if err := s.node.Release(); err != nil {
-		// ErrNotHeld: the caller never locked (or already unlocked).
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
+// startCoterie boots n arbiters on loopback TCP. Peer ports are reserved
+// with throwaway peers first — the address book must be complete at
+// construction — then each arbiter starts with Serve.
+func startCoterie(n int, lease time.Duration) ([]*dqmx.Server, []string, error) {
+	tmp := make([]*dqmx.TCPPeer, n)
+	addrs := make(map[dqmx.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		p, err := dqmx.NewTCPNode(n, dqmx.SiteID(i), "127.0.0.1:0", nil, dqmx.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		tmp[i] = p
+		addrs[dqmx.SiteID(i)] = p.Addr()
 	}
-	w.WriteHeader(http.StatusNoContent)
+	for _, p := range tmp {
+		p.Close()
+	}
+	srvs := make([]*dqmx.Server, n)
+	clientAddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		book := make(map[dqmx.SiteID]string)
+		for j, a := range addrs {
+			if int(j) != i {
+				book[j] = a
+			}
+		}
+		srv, err := dqmx.Serve(dqmx.ServeConfig{
+			N:            n,
+			ID:           dqmx.SiteID(i),
+			PeerListen:   addrs[dqmx.SiteID(i)],
+			Peers:        book,
+			ClientListen: "127.0.0.1:0",
+			Lease:        lease,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		srvs[i] = srv
+		clientAddrs[i] = srv.ClientAddr()
+	}
+	return srvs, clientAddrs, nil
 }
 
 func main() {
@@ -57,70 +98,125 @@ func main() {
 }
 
 func run() error {
-	const sites = 5
-	cluster, err := dqmx.NewClusterWith(sites, dqmx.Options{Quorum: dqmx.TreeQuorums})
+	const (
+		arbiters = 3
+		lease    = 500 * time.Millisecond
+	)
+	srvs, addrs, err := startCoterie(arbiters, lease)
 	if err != nil {
 		return err
 	}
-	defer cluster.Close()
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}()
 
-	var fence int64
-	servers := make([]*httptest.Server, sites)
-	for i := 0; i < sites; i++ {
-		ls := &lockServer{node: cluster.Node(dqmx.SiteID(i)), fence: &fence}
-		mux := http.NewServeMux()
-		mux.HandleFunc("POST /lock", ls.handleLock)
-		mux.HandleFunc("POST /unlock", ls.handleUnlock)
-		servers[i] = httptest.NewServer(mux)
-		defer servers[i].Close()
-	}
-
-	// Concurrent clients hammer different servers; each collects the fencing
-	// tokens it was issued.
-	const perClient = 8
-	tokens := make(chan int64, sites*perClient)
+	// Act 1: concurrent clients across all arbiters; the lock must serialize
+	// every increment of the deliberately unsynchronized counter.
+	const (
+		clients   = 6
+		perClient = 5
+	)
+	var counter int
 	var wg sync.WaitGroup
-	for i := 0; i < sites; i++ {
-		base := servers[i].URL
+	errC := make(chan error, clients)
+	for i := 0; i < clients; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			// Each client dials one arbiter and fails over along the list.
+			sess, err := dqmx.Dial(ctx, append(addrs[i%arbiters:], addrs[:i%arbiters]...), dqmx.DialConfig{Lease: lease})
+			if err != nil {
+				errC <- err
+				return
+			}
+			defer sess.Close()
+			l, err := sess.Lock("leader")
+			if err != nil {
+				errC <- err
+				return
+			}
 			for k := 0; k < perClient; k++ {
-				resp, err := http.Post(base+"/lock", "", nil)
-				if err != nil {
-					log.Printf("lock: %v", err)
-					return
-				}
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				tok, err := strconv.ParseInt(string(body), 10, 64)
-				if err != nil {
-					log.Printf("bad token %q", body)
-					return
-				}
-				tokens <- tok
-				if _, err := http.Post(base+"/unlock", "", nil); err != nil {
-					log.Printf("unlock: %v", err)
+				if err := l.Do(ctx, func(context.Context) error {
+					counter++
+					return nil
+				}); err != nil {
+					errC <- err
 					return
 				}
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
-	close(tokens)
+	close(errC)
+	for err := range errC {
+		return err
+	}
+	if counter != clients*perClient {
+		return fmt.Errorf("mutual exclusion violated: counter = %d, want %d", counter, clients*perClient)
+	}
+	fmt.Printf("act 1: %d clients x %d rounds across %d arbiters: counter = %d, no overlap\n",
+		clients, perClient, arbiters, counter)
 
-	var got []int64
-	for tok := range tokens {
-		got = append(got, tok)
+	// Act 2: fencing. A holder stalls past its lease; the arbiter reclaims
+	// the lock; the next holder's larger token fences the stale one out.
+	store := &fencedStore{}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	stale, err := dqmx.Dial(ctx, addrs, dqmx.DialConfig{Lease: lease})
+	if err != nil {
+		return err
 	}
-	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
-	for i := range got {
-		if got[i] != int64(i+1) {
-			return fmt.Errorf("fencing tokens corrupted at %d: %v", i, got[:i+1])
-		}
+	defer stale.Close()
+	sl, err := stale.Lock("leader")
+	if err != nil {
+		return err
 	}
-	fmt.Printf("issued %d fencing tokens across %d HTTP servers: strictly monotonic, none lost\n",
-		len(got), sites)
-	fmt.Println("the distributed mutex serialized every /lock across the cluster")
+	if err := sl.Acquire(ctx); err != nil {
+		return err
+	}
+	staleFence := stale.Fence()
+	if err := store.Write(staleFence, "from the first holder"); err != nil {
+		return err
+	}
+	fmt.Printf("act 2: first holder wrote with fencing token %d; lease deadline %s away\n",
+		staleFence, time.Until(stale.LeaseDeadline()).Round(time.Millisecond))
+
+	// The holder stalls: keepalives stop mid-hold (as if the process paused
+	// or partitioned), the lease runs out, the arbiter reclaims the lock.
+	stale.Abandon()
+
+	next, err := dqmx.Dial(ctx, addrs, dqmx.DialConfig{Lease: lease})
+	if err != nil {
+		return err
+	}
+	defer next.Close()
+	nl, err := next.Lock("leader")
+	if err != nil {
+		return err
+	}
+	if err := nl.Acquire(ctx); err != nil {
+		return fmt.Errorf("lock never reclaimed after lease expiry: %w", err)
+	}
+	defer nl.Release()
+	if next.Fence() <= staleFence {
+		return fmt.Errorf("fencing token did not advance: %d -> %d", staleFence, next.Fence())
+	}
+	if err := store.Write(next.Fence(), "from the new holder"); err != nil {
+		return err
+	}
+	// The stale holder wakes up and tries its late write. The lock is long
+	// gone — and even without asking the arbiter, the store's fence check
+	// stops it.
+	if err := store.Write(staleFence, "late write from the stale holder"); err == nil {
+		return fmt.Errorf("store accepted a stale fencing token")
+	} else {
+		fmt.Printf("act 2: reclaim granted token %d to the next holder; stale write rejected: %v\n",
+			next.Fence(), err)
+	}
+	fmt.Println("the session lease bounded the crash window; the fencing token protected the store")
 	return nil
 }

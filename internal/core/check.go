@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dqmx/internal/mutex"
+	"dqmx/internal/timestamp"
+)
+
+// Model-checking seams. internal/modelcheck branches protocol executions by
+// deep-copying sites and prunes the search by memoizing canonical state
+// strings; both hooks live here, next to the state they must cover, so a new
+// Site field fails loudly in review rather than silently weakening the
+// checker.
+
+// CloneForCheck deep-copies the site's protocol state so an explorer can
+// branch the execution. The copy shares nothing mutable with the original.
+func (s *Site) CloneForCheck() mutex.Site { return s.clone() }
+
+// CanonicalState serializes every behaviour-relevant field of the site
+// deterministically. Two sites with equal CanonicalState are guaranteed to
+// react identically to identical future inputs: the serialization covers the
+// whole requester half (including parked transfers and inquires), the whole
+// arbiter half (including buffered early releases), the §6 recovery state
+// (known-failed sites, the deferred replacement quorum), and the Lamport
+// clock — omitting the clock would merge states that issue differently
+// prioritized future requests. Statistics counters and construction-time
+// configuration (which never changes mid-run) are excluded.
+func (s *Site) CanonicalState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "S%d{%v %v c=%d f=%v r=%s q=%v nq=%v fs=%s d=%s t=%v p=%s|L=%v Q=%v i=%v lt=%v v=%v er=%s rd=%s}",
+		s.id, s.state, s.reqTS, s.clock.Now(), s.failed, canonSet(s.replied),
+		s.quorum, s.nextQuorum, canonSet(s.failedSites), canonSet(s.inqDeferred),
+		s.tranStack, canonPend(s.pendTransfers),
+		s.lock, s.queue.items, s.inquired, s.lastTransfer, s.lockVia,
+		canonEarly(s.earlyReleases), canonRefresh(s.refreshDead))
+	return b.String()
+}
+
+func canonSet(m map[mutex.SiteID]bool) string {
+	ids := make([]int, 0, len(m))
+	for k, v := range m {
+		if v {
+			ids = append(ids, int(k))
+		}
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}
+
+func canonPend(m map[mutex.SiteID][]transferInfo) string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:%v;", k, m[mutex.SiteID(k)])
+	}
+	return b.String()
+}
+
+func canonRefresh(m map[timestamp.Timestamp]map[mutex.SiteID]bool) string {
+	keys := make([]timestamp.Timestamp, 0, len(m))
+	for k := range m {
+		if len(m[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%v=%s;", k, canonSet(m[k]))
+	}
+	return b.String()
+}
+
+func canonEarly(m map[timestamp.Timestamp]releaseMsg) string {
+	type kv struct {
+		k timestamp.Timestamp
+		v releaseMsg
+	}
+	items := make([]kv, 0, len(m))
+	for k, v := range m {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].k.Less(items[j].k) })
+	var b strings.Builder
+	for _, it := range items {
+		fmt.Fprintf(&b, "%v=%v;", it.k, it.v)
+	}
+	return b.String()
+}

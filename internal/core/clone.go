@@ -32,6 +32,12 @@ func (s *Site) clone() *Site {
 	for k, v := range s.earlyReleases {
 		c.earlyReleases[k] = v
 	}
+	if s.refreshDead != nil {
+		c.refreshDead = make(map[timestamp.Timestamp]map[mutex.SiteID]bool, len(s.refreshDead))
+		for k, v := range s.refreshDead {
+			c.refreshDead[k] = cloneSet(v)
+		}
+	}
 	return &c
 }
 

@@ -47,8 +47,12 @@ func DebugState(ms mutex.Site) string {
 		deferred = append(deferred, a)
 	}
 	sort.Slice(deferred, func(i, j int) bool { return deferred[i] < deferred[j] })
+	via := ""
+	if s.lockVia != timestamp.None {
+		via = fmt.Sprintf(" via=%d", s.lockVia)
+	}
 	return fmt.Sprintf(
-		"%v req=%v failed=%v replied=%v quorum=%v inqDef=%v stack=%v | lock=%v queue=%v inquired=%v lastTr=%v",
+		"%v req=%v failed=%v replied=%v quorum=%v inqDef=%v stack=%v | lock=%v%s queue=%v inquired=%v lastTr=%v",
 		s.state, s.reqTS, s.failed, repliedOf, s.quorum, deferred, s.tranStack,
-		s.lock, s.queue.items, s.inquired, s.lastTransfer)
+		s.lock, via, s.queue.items, s.inquired, s.lastTransfer)
 }

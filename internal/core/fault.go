@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"dqmx/internal/mutex"
 	"dqmx/internal/timestamp"
 )
@@ -32,13 +34,45 @@ func (s *Site) SiteFailed(f mutex.SiteID) mutex.Output {
 	if s.quorum.Contains(f) {
 		s.rebuildQuorum(f, &out)
 	}
+	if s.state == stateWaiting {
+		s.refreshRequests(&out)
+	}
 	return out
+}
+
+// refreshRequests re-sends the pending request to every quorum arbiter that
+// has not granted it. The crashed site may have been the proxy carrying an
+// arbiter's grant to us — the forwarded reply dying with it while the release
+// that re-pointed the arbiter's lock survived — and we cannot tell which
+// grants were in a dead proxy's custody. The refresh carries every site we
+// know to have crashed: because the transport severs a dead peer's streams
+// before announcing the crash, any grant proxied by a site in that set is
+// provably undeliverable, and the arbiter may re-issue it — immediately when
+// its lock already points at this request, or when a forwarding release
+// later re-points it here (the refresh-before-release race; the arbiter
+// remembers the dead-set against the queued entry). Grants in a live proxy's
+// custody are left alone: the refresh arriving does not prove them lost, and
+// re-issuing could double-grant across a yield. If that proxy later crashes,
+// the next refresh claims it and heals the gap.
+func (s *Site) refreshRequests(out *mutex.Output) {
+	dead := make([]mutex.SiteID, 0, len(s.failedSites))
+	for f := range s.failedSites {
+		dead = append(dead, f)
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, a := range s.quorum {
+		if s.replied[a] || s.failedSites[a] {
+			continue
+		}
+		out.SendTo(s.id, a, requestMsg{TS: s.reqTS, Refresh: true, Dead: dead})
+	}
 }
 
 // arbiterPurge removes every trace of the failed site from the arbiter half
 // (the paper's Cases 1 and 3 of the recovery actions).
 func (s *Site) arbiterPurge(f mutex.SiteID, out *mutex.Output) {
 	s.queue.RemoveSite(f)
+	s.clearRefreshSite(f)
 	if !s.lock.IsMax() && s.lock.Site == f {
 		// The failed site held our permission: grant the next request
 		// directly, piggybacking a transfer for the one after it.
@@ -111,10 +145,8 @@ func (s *Site) rebuildQuorum(f mutex.SiteID, out *mutex.Output) {
 		s.dropTransfersFrom(a)
 		delete(s.inqDeferred, a)
 	}
-	for _, a := range newQ {
-		if !old.Contains(a) {
-			out.SendTo(s.id, a, requestMsg{TS: s.reqTS})
-		}
-	}
+	// Joining arbiters receive the original request (same timestamp) through
+	// the refresh that SiteFailed runs after the rebuild: they are exactly the
+	// quorum members without a reply.
 	s.checkEntry(out)
 }

@@ -16,12 +16,39 @@ import (
 type requestMsg struct {
 	// TS is the requester's Lamport timestamp (sn, i).
 	TS timestamp.Timestamp
+	// Refresh marks a §6 crash-refresh resend: the requester observed a
+	// failure while it still lacked this arbiter's grant, so the grant may
+	// have died in a crashed proxy's custody.
+	Refresh bool
+	// Dead is the set of sites the requester knew to have crashed when it
+	// sent the refresh, smallest first. Because the transport severs a dead
+	// peer's streams before announcing the crash, a proxied reply carried by
+	// a site in this set is provably undeliverable — the arbiter may re-issue
+	// that grant without risking a duplicate. A reply proxied by a site NOT
+	// in this set may still be in flight; re-issuing would race a later
+	// inquire/yield and could double-grant the permission.
+	Dead []mutex.SiteID
 }
 
 // Kind implements mutex.Message.
 func (requestMsg) Kind() string { return mutex.KindRequest }
 
-func (m requestMsg) String() string { return fmt.Sprintf("request%v", m.TS) }
+// claimsDead reports whether the refresh declares the given site crashed.
+func (m requestMsg) claimsDead(id mutex.SiteID) bool {
+	for _, f := range m.Dead {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (m requestMsg) String() string {
+	if !m.Refresh {
+		return fmt.Sprintf("request%v", m.TS)
+	}
+	return fmt.Sprintf("request%v+refresh%v", m.TS, m.Dead)
+}
 
 // transferInfo asks the receiving lock holder to forward the arbiter's
 // permission directly to Target when it exits the CS. It travels either as a

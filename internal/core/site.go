@@ -80,6 +80,21 @@ type Site struct {
 	inquired     bool                // inquire sent for the current lock generation
 	lastTransfer timestamp.Timestamp // target of the latest transfer this generation
 
+	// lockVia is the proxy whose forwarding release produced the current
+	// lock value, or timestamp.None when this arbiter granted the lock
+	// directly (its own reply shares the holder's channel, so FIFO keeps
+	// duplicates safe). A grant that traveled through a proxy lives on a
+	// channel this arbiter cannot order against; lockVia is what lets a §6
+	// crash refresh decide whether that grant is provably lost.
+	lockVia mutex.SiteID
+
+	// refreshDead records, per queued request, the sites its requester has
+	// declared crashed via §6 refresh resends. When a forwarding release
+	// re-points the lock at such a request and the forwarding proxy is in
+	// the set, the proxied reply died with the proxy — the arbiter re-issues
+	// the grant directly instead of trusting it.
+	refreshDead map[timestamp.Timestamp]map[mutex.SiteID]bool
+
 	// cases counts the §5.2 heavy-load case classification of arrivals.
 	cases CaseStats
 
@@ -129,6 +144,7 @@ func newSite(id mutex.SiteID, n int, quorum coterie.Quorum, cons coterie.Constru
 		reqTS:         timestamp.Max,
 		lock:          timestamp.Max,
 		lastTransfer:  timestamp.Max,
+		lockVia:       timestamp.None,
 		parkTransfers: true,
 		piggyback:     true,
 		earlyReleases: make(map[timestamp.Timestamp]releaseMsg),
@@ -240,6 +256,45 @@ func (s *Site) Deliver(env mutex.Envelope) mutex.Output {
 func (s *Site) resetLockGen() {
 	s.inquired = false
 	s.lastTransfer = timestamp.Max
+	s.lockVia = timestamp.None
+}
+
+// markRefresh accumulates the known-dead claims of a §6 refresh against its
+// queued request, consulted when a forwarding release later re-points the
+// lock at it.
+func (s *Site) markRefresh(m requestMsg) {
+	if len(m.Dead) == 0 {
+		return
+	}
+	if s.refreshDead == nil {
+		s.refreshDead = make(map[timestamp.Timestamp]map[mutex.SiteID]bool)
+	}
+	set := s.refreshDead[m.TS]
+	if set == nil {
+		set = make(map[mutex.SiteID]bool, len(m.Dead))
+		s.refreshDead[m.TS] = set
+	}
+	for _, f := range m.Dead {
+		set[f] = true
+	}
+}
+
+// refreshClaims reports whether a refresh of the queued request ts declared
+// site f crashed.
+func (s *Site) refreshClaims(ts timestamp.Timestamp, f mutex.SiteID) bool {
+	return s.refreshDead[ts][f]
+}
+
+func (s *Site) clearRefresh(ts timestamp.Timestamp) {
+	delete(s.refreshDead, ts)
+}
+
+func (s *Site) clearRefreshSite(f mutex.SiteID) {
+	for ts := range s.refreshDead {
+		if ts.Site == f {
+			delete(s.refreshDead, ts)
+		}
+	}
 }
 
 // onRequest handles step A.2. The published case analysis collapses to three
@@ -254,6 +309,28 @@ func (s *Site) onRequest(m requestMsg, out *mutex.Output) {
 	if s.failedSites[m.TS.Site] {
 		return // request from a site already announced as crashed
 	}
+	if s.lock == m.TS {
+		// Crash refresh (§6): the requester still lacks our grant. Re-issue
+		// it only when the duplicate is provably safe: a directly-granted
+		// (or self-proxied) reply travels the same channel as this re-issue
+		// and any later inquire, so FIFO lets one yield cover both copies;
+		// a grant forwarded by a proxy the refresh declares dead died in the
+		// severed channel. A grant in a *live* proxy's custody may still
+		// arrive — re-issuing would let a yield straddle the two copies and
+		// double-grant the permission, so the refresh waits for either the
+		// proxied reply or the proxy's failure notification.
+		if s.lockVia == timestamp.None || s.lockVia == s.id || m.claimsDead(s.lockVia) {
+			out.SendTo(s.id, m.TS.Site, replyMsg{Arbiter: s.id, ReqTS: m.TS})
+		}
+		return
+	}
+	if s.queue.Contains(m.TS) {
+		// Crash refresh of a request we already queue: the verdict stands,
+		// but remember the requester's dead-set — a forwarding release may
+		// yet re-point the lock here trusting a proxied reply that died.
+		s.markRefresh(m)
+		return
+	}
 	if s.lock.IsMax() {
 		s.lock = m.TS
 		s.resetLockGen()
@@ -266,6 +343,7 @@ func (s *Site) onRequest(m requestMsg, out *mutex.Output) {
 	}
 	s.classify(m.TS, oldHead)
 	s.queue.Push(m.TS)
+	s.markRefresh(m)
 	head := s.queue.Head()
 	// A request learns it is currently losing (failed = 1) unless it is the
 	// unique winner here: first in line AND higher priority than the lock
@@ -341,6 +419,7 @@ func (s *Site) onYield(m yieldMsg, out *mutex.Output) {
 // granting.
 func (s *Site) grantNext(out *mutex.Output) {
 	grant := s.queue.Pop()
+	s.clearRefresh(grant) // the direct reply below supersedes any refresh claim
 	s.lock = grant
 	s.resetLockGen()
 	if rel, ok := s.earlyReleases[grant]; ok {
@@ -379,6 +458,7 @@ func (s *Site) onRelease(m releaseMsg, out *mutex.Output) {
 	}
 	if m.Withdraw {
 		if s.queue.Remove(m.ReqTS) {
+			s.clearRefresh(m.ReqTS)
 			s.ensureHandoff(out)
 		}
 		return
@@ -391,7 +471,12 @@ func (s *Site) onRelease(m releaseMsg, out *mutex.Output) {
 func (s *Site) applyRelease(m releaseMsg, out *mutex.Output) {
 	if m.Fwd != timestamp.None && !s.failedSites[m.Fwd] {
 		s.queue.Remove(m.FwdTS)
-		s.setLock(m.FwdTS, out)
+		// The forwarding proxy is the releasing holder itself. If a §6
+		// refresh from the target declared that proxy dead, the proxied
+		// reply died in the severed proxy→target channel — re-issue it.
+		reissue := s.refreshClaims(m.FwdTS, m.ReqTS.Site)
+		s.clearRefresh(m.FwdTS)
+		s.setLock(m.FwdTS, m.ReqTS.Site, reissue, out)
 		return
 	}
 	if s.queue.Empty() {
@@ -403,17 +488,24 @@ func (s *Site) applyRelease(m releaseMsg, out *mutex.Output) {
 }
 
 // setLock re-points the lock at a request that obtained the permission via
-// proxy, draining any buffered early release for it (handoff chains can run
-// several CS executions ahead of the arbiter's view). Otherwise it re-arms
-// the handoff toward the new holder — a higher-priority request may have
-// arrived while the forwarding release was in flight.
-func (s *Site) setLock(ts timestamp.Timestamp, out *mutex.Output) {
+// the proxy via, draining any buffered early release for it (handoff chains
+// can run several CS executions ahead of the arbiter's view). Otherwise it
+// re-arms the handoff toward the new holder — a higher-priority request may
+// have arrived while the forwarding release was in flight. With reissue set
+// the proxied reply is known lost: a direct replacement grant is sent, before
+// ensureHandoff so channel FIFO orders it ahead of any inquire for this lock
+// generation (a yield prompted by that inquire then covers the grant).
+func (s *Site) setLock(ts timestamp.Timestamp, via mutex.SiteID, reissue bool, out *mutex.Output) {
 	s.lock = ts
 	s.resetLockGen()
+	s.lockVia = via
 	if rel, ok := s.earlyReleases[ts]; ok {
 		delete(s.earlyReleases, ts)
 		s.applyRelease(rel, out)
 		return
+	}
+	if reissue {
+		out.SendTo(s.id, ts.Site, replyMsg{Arbiter: s.id, ReqTS: ts})
 	}
 	s.ensureHandoff(out)
 }
@@ -424,6 +516,13 @@ func (s *Site) setLock(ts timestamp.Timestamp, out *mutex.Output) {
 // during §6 recovery races — are declined so the arbiter is never wedged on
 // a grant nobody claims.
 func (s *Site) onReply(m replyMsg, out *mutex.Output) {
+	if s.state == stateInCS && m.ReqTS == s.reqTS {
+		// A crash-refresh duplicate of a permission we already hold raced our
+		// entry: ignore it — the Exit release (or the withdrawal already in
+		// flight, if the arbiter left our quorum) settles the arbiter.
+		// Declining would bounce a release that regrants a permission in use.
+		return
+	}
 	if s.state != stateWaiting || m.ReqTS != s.reqTS || !s.quorum.Contains(m.Arbiter) {
 		s.decline(m, out)
 		return

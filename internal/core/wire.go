@@ -23,10 +23,32 @@ const (
 func init() {
 	wire.RegisterMessage(tagRequest, requestMsg{},
 		func(b []byte, m mutex.Message) []byte {
-			return wire.AppendTimestamp(b, m.(requestMsg).TS)
+			v := m.(requestMsg)
+			b = wire.AppendTimestamp(b, v.TS)
+			// A flag byte separates the common first-send request from the
+			// §6 crash-refresh form carrying the requester's known-dead set.
+			if !v.Refresh {
+				return wire.AppendBool(b, false)
+			}
+			b = wire.AppendBool(b, true)
+			b = wire.AppendUint(b, uint64(len(v.Dead)))
+			for _, f := range v.Dead {
+				b = wire.AppendSite(b, f)
+			}
+			return b
 		},
 		func(r *wire.Reader) (mutex.Message, error) {
-			return requestMsg{TS: r.Timestamp()}, nil
+			v := requestMsg{TS: r.Timestamp()}
+			if r.Bool() {
+				v.Refresh = true
+				if n := r.Len(); n > 0 {
+					v.Dead = make([]mutex.SiteID, 0, n)
+					for i := 0; i < n; i++ {
+						v.Dead = append(v.Dead, r.Site())
+					}
+				}
+			}
+			return v, nil
 		})
 
 	wire.RegisterMessage(tagReply, replyMsg{},

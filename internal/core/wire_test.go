@@ -21,6 +21,7 @@ func wireMessages() []mutex.Message {
 	}
 	return []mutex.Message{
 		requestMsg{TS: ts(1, 0)},
+		requestMsg{TS: ts(2, 1), Refresh: true, Dead: []mutex.SiteID{0, 3}},
 		replyMsg{Arbiter: 2, ReqTS: ts(3, 1)},
 		replyMsg{Arbiter: 2, ReqTS: ts(3, 1), Transfer: &transferInfo{Arbiter: 4, TargetTS: ts(5, 2)}},
 		releaseMsg{ReqTS: ts(6, 0), Fwd: timestamp.None, FwdTS: timestamp.Timestamp{}},

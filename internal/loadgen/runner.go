@@ -21,8 +21,8 @@ type Report struct {
 	Quorum   string `json:"quorum"`
 	// Codec is the wire codec of a TCP run; empty for in-process runs,
 	// which have no wire.
-	Codec     string  `json:"codec,omitempty"`
-	N int `json:"n"`
+	Codec string `json:"codec,omitempty"`
+	N     int    `json:"n"`
 	// Clients is the leased-session count of a service run; zero for site
 	// drivers, whose population is the N sites themselves.
 	Clients   int     `json:"clients,omitempty"`

@@ -1,0 +1,695 @@
+// Package modelcheck exhaustively verifies small protocol configurations by
+// enumerating every reachable state of the per-site state machines under
+// per-channel-FIFO message delivery.
+//
+// The explorer owns a model of the whole system — one Site state machine per
+// site, one FIFO queue per directed (from, to) channel, the identity of the
+// current CS holder, and each site's remaining CS budget — and at every step
+// branches over the enabled nondeterministic choices:
+//
+//   - deliver the head of any non-empty channel;
+//   - let an idle site issue its next request;
+//   - let the current holder exit the critical section;
+//   - crash a live site (bounded by Config.Crashes): its in-flight inbound
+//     messages are lost, later messages addressed to it are dropped, and every
+//     survivor receives a §6 failure notification on its own detector channel,
+//     so notifications interleave freely with protocol traffic and with each
+//     other — exactly the races the recovery protocol must survive.
+//
+// States are deduplicated by a canonical serialization (Site.CanonicalState
+// plus the explorer's own bookkeeping), so the search covers the full state
+// space up to that equivalence rather than a tree of runs. Invariants are
+// pluggable (see Invariant) and mirror the chaos checker's conformance rules;
+// a violation carries the exact choice sequence that reached it, replayable
+// with Replay, plus a per-site state dump.
+//
+// This is the repository's second verification pillar next to the chaos
+// sweep: chaos samples deep schedules on big topologies under a lossy
+// transport, the model checker proves every schedule of a small fault-budget
+// configuration over the reliable-FIFO model the paper assumes.
+package modelcheck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+)
+
+// Site is the contract a protocol state machine must satisfy to be model
+// checked: the usual mutex driver surface plus the cloning, canonicalization,
+// and diagnostic seams (core.Site implements all of them).
+type Site interface {
+	mutex.Site
+	mutex.TimestampedSite
+	// CloneForCheck deep-copies the machine so the explorer can branch.
+	CloneForCheck() mutex.Site
+	// CanonicalState serializes every behaviour-relevant field; states with
+	// equal strings must react identically to identical future inputs.
+	CanonicalState() string
+	// DebugString renders the state for counterexample dumps.
+	DebugString() string
+}
+
+// Bound is the per-CS average message envelope asserted on fault-free
+// terminal states, the paper's 3(K−1)..6(K−1).
+type Bound struct {
+	Lo, Hi float64
+}
+
+// BoundsFor derives the envelope from a coterie assignment, mirroring
+// chaos.MessageBounds (a test pins the two functions together): Kmin and
+// Kmax are the smallest and largest quorum sizes.
+func BoundsFor(a *coterie.Assignment) Bound {
+	minK, maxK := 0, 0
+	for _, q := range a.Quorums {
+		if k := len(q); minK == 0 || k < minK {
+			minK = k
+		}
+		if k := len(q); k > maxK {
+			maxK = k
+		}
+	}
+	if minK < 1 {
+		return Bound{}
+	}
+	return Bound{Lo: 3 * float64(minK-1), Hi: 6 * float64(maxK-1)}
+}
+
+// Config describes one exhaustive run.
+type Config struct {
+	// Algorithm builds the N site machines; every site must implement the
+	// package's Site interface.
+	Algorithm mutex.Algorithm
+	// N is the number of sites.
+	N int
+	// PerSite is how many CS executions each requester issues (default 1).
+	PerSite int
+	// Requesters limits which sites issue requests (nil = all N). Shrinking
+	// the requester set is how larger-N configurations stay enumerable: the
+	// remaining sites still arbitrate, so quorum traffic covers them.
+	Requesters []mutex.SiteID
+	// Crashes is the crash-choice budget: along any one run at most this
+	// many sites fail. Keep it below the coterie's availability margin
+	// (majority-3 tolerates 1) or blocked requesters are reported as
+	// deadlocks — which, without a live quorum, they truly are.
+	Crashes int
+	// CrashSites limits crash victims (nil = any live site).
+	CrashSites []mutex.SiteID
+	// MaxStates caps the visited-state count; exceeding it aborts the run
+	// with ErrStateBudget (0 = unlimited). It is the CI-time guard: size it
+	// so the configuration is known to fit.
+	MaxStates int
+	// MaxDepth caps the choice-sequence length; deeper paths are truncated
+	// and the Result is marked incomplete (0 = unbounded).
+	MaxDepth int
+	// DFS switches the search order from breadth-first (default; finds
+	// minimal counterexamples) to depth-first (smaller frontier on soak-size
+	// spaces).
+	DFS bool
+	// Invariants replaces the default invariant set (nil = Defaults()).
+	Invariants []Invariant
+	// Bound, when non-nil, additionally asserts the per-CS message envelope
+	// on fault-free terminal states. The message and exit counters then
+	// become part of the canonical state, so runs that differ only in cost
+	// are explored separately — the state space grows accordingly.
+	Bound *Bound
+}
+
+// ErrStateBudget reports that the state space outgrew Config.MaxStates.
+var ErrStateBudget = errors.New("modelcheck: state budget exceeded")
+
+// Result summarizes a completed exploration.
+type Result struct {
+	// States is the number of distinct canonical states visited.
+	States int
+	// Terminals counts distinct quiescent states (no deliver, request, or
+	// exit choice enabled).
+	Terminals int
+	// Depth is the longest explored choice sequence.
+	Depth int
+	// Complete is false when MaxDepth truncated at least one path.
+	Complete bool
+	// Violation is the first invariant violation found, nil when the run is
+	// clean. A violating run stops at the violation.
+	Violation *Violation
+}
+
+// channel identifies one directed FIFO message queue. Detector channels use
+// a negative from (see detectorFrom) so each survivor's failure notification
+// travels alone and interleaves freely.
+type channel struct{ from, to mutex.SiteID }
+
+// detectorFrom is the synthetic origin of the failure notification delivered
+// to survivors after victim crashes: one distinct channel per (victim,
+// survivor) pair.
+func detectorFrom(victim mutex.SiteID) mutex.SiteID { return -2 - victim }
+
+// State is one node of the explored state space. Invariants read it through
+// the accessor methods; all mutation happens inside the explorer.
+type State struct {
+	sites       []Site
+	chans       map[channel][]mutex.Envelope
+	inCS        mutex.SiteID // -1 when the CS is free
+	reqs        []int        // CS executions each site still has to issue
+	crashed     []bool
+	crashesLeft int
+	sends       uint64 // network protocol messages sent (excludes failure notifications)
+	exits       uint64 // completed CS executions
+
+	// settled[j*n+i] records that site j's request wave was fully delivered
+	// ("settled") before site i issued its current request — the premise of
+	// the chaos checker's timestamp-order rule. Maintained by the explorer,
+	// consulted by the order invariant, part of the canonical state.
+	settled []bool
+
+	// Transition transients (not part of the canonical state): the site that
+	// entered the CS during the last applied action, and the pair of holders
+	// of a double entry. Violations abort the run, so they never need to
+	// survive deduplication.
+	entered mutex.SiteID
+	dup     *[2]mutex.SiteID
+}
+
+// N returns the number of sites.
+func (st *State) N() int { return len(st.sites) }
+
+// Holder returns the current CS holder, -1 when the CS is free.
+func (st *State) Holder() mutex.SiteID { return st.inCS }
+
+// SiteAt returns site i's state machine (read-only for invariants).
+func (st *State) SiteAt(i mutex.SiteID) Site { return st.sites[i] }
+
+// Crashed reports whether site i has crashed.
+func (st *State) Crashed(i mutex.SiteID) bool { return st.crashed[i] }
+
+// Faulty reports whether any site has crashed.
+func (st *State) Faulty() bool {
+	for _, c := range st.crashed {
+		if c {
+			return true
+		}
+	}
+	return false
+}
+
+// Remaining returns site i's outstanding CS budget.
+func (st *State) Remaining(i mutex.SiteID) int { return st.reqs[i] }
+
+// Sends returns the network protocol messages sent so far along this run
+// (self-addressed envelopes and failure notifications excluded, matching the
+// paper's accounting).
+func (st *State) Sends() uint64 { return st.sends }
+
+// Exits returns the CS executions completed so far along this run.
+func (st *State) Exits() uint64 { return st.exits }
+
+// Entered returns the site that acquired the CS during the transition that
+// produced this state, -1 when none did.
+func (st *State) Entered() mutex.SiteID { return st.entered }
+
+// DoubleEntry returns both holders when the last transition produced a
+// second simultaneous CS entry, or nil.
+func (st *State) DoubleEntry() *[2]mutex.SiteID { return st.dup }
+
+// SettledBefore reports whether site j's request wave had settled before
+// site i issued its current request.
+func (st *State) SettledBefore(j, i mutex.SiteID) bool {
+	return st.settled[int(j)*len(st.sites)+int(i)]
+}
+
+// explorer carries the per-run configuration shared by all states.
+type explorer struct {
+	cfg        Config
+	invariants []Invariant
+	counters   bool // message counters are part of the canonical state
+	requester  []bool
+	crashable  []bool
+}
+
+func newExplorer(cfg Config) (*explorer, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("modelcheck: Config.Algorithm is required")
+	}
+	if cfg.N < 1 {
+		return nil, errors.New("modelcheck: Config.N must be positive")
+	}
+	if cfg.PerSite == 0 {
+		cfg.PerSite = 1
+	}
+	ex := &explorer{
+		cfg:       cfg,
+		counters:  cfg.Bound != nil,
+		requester: idSet(cfg.N, cfg.Requesters),
+		crashable: idSet(cfg.N, cfg.CrashSites),
+	}
+	ex.invariants = cfg.Invariants
+	if ex.invariants == nil {
+		ex.invariants = Defaults()
+	}
+	if cfg.Bound != nil {
+		ex.invariants = append(append([]Invariant(nil), ex.invariants...), BoundInvariant(*cfg.Bound))
+	}
+	return ex, nil
+}
+
+func idSet(n int, ids []mutex.SiteID) []bool {
+	set := make([]bool, n)
+	if ids == nil {
+		for i := range set {
+			set[i] = true
+		}
+		return set
+	}
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// initial builds the start state: all sites idle, all channels empty.
+func (ex *explorer) initial() (*State, error) {
+	raw, err := ex.cfg.Algorithm.NewSites(ex.cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{
+		sites:   make([]Site, len(raw)),
+		chans:   make(map[channel][]mutex.Envelope),
+		inCS:    -1,
+		reqs:    make([]int, len(raw)),
+		crashed: make([]bool, len(raw)),
+		settled: make([]bool, len(raw)*len(raw)),
+		entered: -1,
+	}
+	st.crashesLeft = ex.cfg.Crashes
+	for i, s := range raw {
+		ms, ok := s.(Site)
+		if !ok {
+			return nil, fmt.Errorf("modelcheck: site %d (%T) does not implement the model-checking seams", i, s)
+		}
+		st.sites[i] = ms
+		if ex.requester[i] {
+			st.reqs[i] = ex.cfg.PerSite
+		}
+	}
+	return st, nil
+}
+
+// clone deep-copies a state. Crashed sites' machines are shared: they never
+// step again, so their memory is immutable.
+func (st *State) clone() *State {
+	c := &State{
+		sites:       make([]Site, len(st.sites)),
+		chans:       make(map[channel][]mutex.Envelope, len(st.chans)),
+		inCS:        st.inCS,
+		reqs:        append([]int(nil), st.reqs...),
+		crashed:     append([]bool(nil), st.crashed...),
+		crashesLeft: st.crashesLeft,
+		sends:       st.sends,
+		exits:       st.exits,
+		settled:     append([]bool(nil), st.settled...),
+		entered:     -1,
+	}
+	for i, s := range st.sites {
+		if st.crashed[i] {
+			c.sites[i] = s
+			continue
+		}
+		c.sites[i] = s.CloneForCheck().(Site)
+	}
+	for k, v := range st.chans {
+		c.chans[k] = append([]mutex.Envelope(nil), v...)
+	}
+	return c
+}
+
+// route applies a state-machine output: self-addressed envelopes are
+// delivered synchronously (as every driver does), remote ones join their
+// FIFO channel unless the receiver has crashed.
+func (st *State) route(origin mutex.SiteID, out mutex.Output) {
+	if out.Entered {
+		st.noteEntered(origin)
+	}
+	pending := out.Send
+	for len(pending) > 0 {
+		env := pending[0]
+		pending = pending[1:]
+		if env.From >= 0 && env.Msg.Kind() == mutex.KindRequest {
+			// A (re)opened request wave: the sender's settled-before facts
+			// lapse, mirroring the chaos checker resetting its settle point.
+			st.clearSettledRow(env.From)
+		}
+		if env.To == env.From {
+			next := st.sites[env.To].Deliver(env)
+			if next.Entered {
+				st.noteEntered(env.To)
+			}
+			pending = append(pending, next.Send...)
+			continue
+		}
+		if st.crashed[env.To] {
+			continue // the receiver is dead; the message is lost
+		}
+		st.chans[channel{env.From, env.To}] = append(st.chans[channel{env.From, env.To}], env)
+		if env.Msg.Kind() != mutex.KindFailure {
+			st.sends++
+		}
+	}
+}
+
+func (st *State) noteEntered(i mutex.SiteID) {
+	if st.inCS != -1 && st.inCS != i {
+		prev := st.inCS
+		st.dup = &[2]mutex.SiteID{prev, i}
+	}
+	st.inCS = i
+	st.entered = i
+	st.clearSettledRow(i)
+	st.clearSettledCol(i)
+}
+
+func (st *State) clearSettledRow(j mutex.SiteID) {
+	n := len(st.sites)
+	for i := 0; i < n; i++ {
+		st.settled[int(j)*n+i] = false
+	}
+}
+
+func (st *State) clearSettledCol(i mutex.SiteID) {
+	n := len(st.sites)
+	for j := 0; j < n; j++ {
+		st.settled[j*n+int(i)] = false
+	}
+}
+
+// waveSettled reports whether site j's current request wave has been fully
+// delivered: j is waiting and no request envelope from j is in flight.
+func (st *State) waveSettled(j mutex.SiteID) bool {
+	if !st.sites[j].Pending() {
+		return false
+	}
+	for k, q := range st.chans {
+		if k.from != j {
+			continue
+		}
+		for _, env := range q {
+			if env.Msg.Kind() == mutex.KindRequest {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// apply executes one action in place and returns a short description of what
+// was delivered (for replay logs).
+func (st *State) apply(a Action) (string, error) {
+	st.entered = -1
+	st.dup = nil
+	switch a.Kind {
+	case ActDeliver:
+		key := channel{a.From, a.To}
+		q := st.chans[key]
+		if len(q) == 0 {
+			return "", fmt.Errorf("modelcheck: %v: channel empty", a)
+		}
+		env := q[0]
+		if len(q) == 1 {
+			delete(st.chans, key)
+		} else {
+			st.chans[key] = q[1:]
+		}
+		if fm, ok := env.Msg.(mutex.FailureMsg); ok {
+			// The transport severs the dead peer's streams (PeerFailed) before
+			// the notification reaches the protocol, so nothing from the victim
+			// can be delivered to this site after it learns of the crash.
+			delete(st.chans, channel{fm.Failed, env.To})
+		}
+		st.route(env.To, st.sites[env.To].Deliver(env))
+		return fmt.Sprintf("%v", env.Msg), nil
+	case ActDrop:
+		key := channel{a.From, a.To}
+		q := st.chans[key]
+		if len(q) == 0 || a.From < 0 || !st.crashed[a.From] {
+			return "", fmt.Errorf("modelcheck: %v: nothing droppable", a)
+		}
+		// The dead sender's stream tears down here: the whole remaining queue
+		// is lost, never a gap in the middle — the reliable sublayer delivers
+		// each (from, to) stream in sequence order, so a receiver can only ever
+		// observe a prefix of a dead sender's messages.
+		delete(st.chans, key)
+		return fmt.Sprintf("%d messages", len(q)), nil
+	case ActRequest:
+		i := a.Site
+		if st.reqs[i] <= 0 || st.crashed[i] {
+			return "", fmt.Errorf("modelcheck: %v: no request budget", a)
+		}
+		st.reqs[i]--
+		st.clearSettledRow(i)
+		st.clearSettledCol(i)
+		st.route(i, st.sites[i].Request())
+		// Every waiting site whose wave had already settled when this
+		// request was born is now "settled before issued" relative to it.
+		n := len(st.sites)
+		for j := 0; j < n; j++ {
+			if mutex.SiteID(j) == i || st.crashed[j] {
+				continue
+			}
+			if st.waveSettled(mutex.SiteID(j)) {
+				st.settled[j*n+int(i)] = true
+			}
+		}
+		return "", nil
+	case ActExit:
+		i := a.Site
+		if st.inCS != i {
+			return "", fmt.Errorf("modelcheck: %v: site not in CS", a)
+		}
+		st.inCS = -1
+		st.exits++
+		st.route(i, st.sites[i].Exit())
+		return "", nil
+	case ActCrash:
+		v := a.Site
+		if st.crashed[v] || st.crashesLeft <= 0 {
+			return "", fmt.Errorf("modelcheck: %v: not crashable", a)
+		}
+		st.crashed[v] = true
+		st.crashesLeft--
+		if st.inCS == v {
+			st.inCS = -1 // died inside the CS; §6 must re-grant
+		}
+		st.clearSettledRow(v)
+		st.clearSettledCol(v)
+		for k := range st.chans {
+			if k.to == v {
+				delete(st.chans, k) // in-flight messages to the victim are lost
+			}
+		}
+		// Each survivor's local detector announces the crash independently:
+		// one notification per survivor on its own channel.
+		for w := range st.sites {
+			if mutex.SiteID(w) == v || st.crashed[w] {
+				continue
+			}
+			key := channel{detectorFrom(v), mutex.SiteID(w)}
+			st.chans[key] = append(st.chans[key], mutex.Envelope{
+				From: detectorFrom(v), To: mutex.SiteID(w), Msg: mutex.FailureMsg{Failed: v},
+			})
+		}
+		return "", nil
+	default:
+		return "", fmt.Errorf("modelcheck: unknown action %v", a)
+	}
+}
+
+// enabled returns the protocol choices (deliver/request/exit) and the crash
+// choices separately: a state with no protocol choice is terminal even when
+// crashes remain — crashing a quiescent system explores nothing the deadlock
+// and bound invariants should excuse.
+func (ex *explorer) enabled(st *State) (core, crash []Action) {
+	if st.inCS != -1 {
+		core = append(core, Action{Kind: ActExit, Site: st.inCS})
+	}
+	for i, s := range st.sites {
+		if !st.crashed[i] && st.reqs[i] > 0 && !s.Pending() && !s.InCS() {
+			core = append(core, Action{Kind: ActRequest, Site: mutex.SiteID(i)})
+		}
+	}
+	keys := make([]channel, 0, len(st.chans))
+	for k, q := range st.chans {
+		if len(q) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		core = append(core, Action{Kind: ActDeliver, From: k.from, To: k.to})
+		if k.from >= 0 && st.crashed[k.from] {
+			// The dead sender's retransmission half is gone: its stream can
+			// tear down at any point, losing the rest of the channel.
+			core = append(core, Action{Kind: ActDrop, From: k.from, To: k.to})
+		}
+	}
+	if st.crashesLeft > 0 && st.workRemains() {
+		for v := range st.sites {
+			if ex.crashable[v] && !st.crashed[v] {
+				crash = append(crash, Action{Kind: ActCrash, Site: mutex.SiteID(v)})
+			}
+		}
+	}
+	return core, crash
+}
+
+// workRemains reports whether any live site still has CS work outstanding;
+// crash choices are only offered while it does.
+func (st *State) workRemains() bool {
+	for i, s := range st.sites {
+		if st.crashed[i] {
+			continue
+		}
+		if st.reqs[i] > 0 || s.Pending() || s.InCS() {
+			return true
+		}
+	}
+	return false
+}
+
+// canonical serializes the state deterministically for deduplication.
+func (st *State) canonical(counters bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cs=%d reqs=%v left=%d|", st.inCS, st.reqs, st.crashesLeft)
+	if counters {
+		fmt.Fprintf(&b, "m=%d/%d|", st.sends, st.exits)
+	}
+	var bits uint64
+	for i, s := range st.settled {
+		if s {
+			bits |= 1 << uint(i)
+		}
+	}
+	fmt.Fprintf(&b, "sb=%x|", bits)
+	for i, s := range st.sites {
+		if st.crashed[i] {
+			fmt.Fprintf(&b, "S%d†", i)
+			continue
+		}
+		b.WriteString(s.CanonicalState())
+	}
+	keys := make([]channel, 0, len(st.chans))
+	for k := range st.chans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%d>%d:%v", k.from, k.to, st.chans[k])
+	}
+	return b.String()
+}
+
+// node is one frontier entry. After expansion the state is released; the
+// parent chain keeps only the actions, which is all a counterexample needs.
+type node struct {
+	st     *State
+	parent *node
+	act    Action
+	depth  int
+}
+
+func (n *node) trace() []Action {
+	var rev []Action
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.act)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Run explores the configuration's full state space. A Violation stops the
+// search and is returned inside the Result; Run itself errs only on
+// configuration problems or a blown state budget.
+func Run(cfg Config) (Result, error) {
+	ex, err := newExplorer(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	init, err := ex.initial()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Complete: true}
+	visited := map[string]struct{}{init.canonical(ex.counters): {}}
+	frontier := []*node{{st: init, depth: 0}}
+	for len(frontier) > 0 {
+		var cur *node
+		if cfg.DFS {
+			cur = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		} else {
+			cur = frontier[0]
+			frontier = frontier[1:]
+		}
+		if cur.depth > res.Depth {
+			res.Depth = cur.depth
+		}
+		coreActs, crashActs := ex.enabled(cur.st)
+		if len(coreActs) == 0 {
+			res.Terminals++
+			for _, inv := range ex.invariants {
+				if err := inv.Terminal(cur.st); err != nil {
+					res.States = len(visited)
+					res.Violation = newViolation(inv.Name(), err, cur.trace(), cur.st)
+					return res, nil
+				}
+			}
+		}
+		if cfg.MaxDepth > 0 && cur.depth >= cfg.MaxDepth {
+			res.Complete = false
+			cur.st = nil
+			continue
+		}
+		for _, a := range append(coreActs, crashActs...) {
+			next := cur.st.clone()
+			if _, err := next.apply(a); err != nil {
+				return res, err
+			}
+			for _, inv := range ex.invariants {
+				if ierr := inv.Step(cur.st, a, next); ierr != nil {
+					child := &node{st: next, parent: cur, act: a, depth: cur.depth + 1}
+					res.States = len(visited)
+					res.Violation = newViolation(inv.Name(), ierr, child.trace(), next)
+					return res, nil
+				}
+			}
+			key := next.canonical(ex.counters)
+			if _, seen := visited[key]; seen {
+				continue
+			}
+			visited[key] = struct{}{}
+			if cfg.MaxStates > 0 && len(visited) > cfg.MaxStates {
+				res.States = len(visited)
+				return res, fmt.Errorf("%w: more than %d states", ErrStateBudget, cfg.MaxStates)
+			}
+			frontier = append(frontier, &node{st: next, parent: cur, act: a, depth: cur.depth + 1})
+		}
+		cur.st = nil
+	}
+	res.States = len(visited)
+	return res, nil
+}

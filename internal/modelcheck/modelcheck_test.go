@@ -1,0 +1,241 @@
+package modelcheck_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dqmx/internal/chaos"
+	"dqmx/internal/core"
+	"dqmx/internal/coterie"
+	"dqmx/internal/modelcheck"
+	"dqmx/internal/mutex"
+)
+
+// run executes one exhaustive configuration and fails the test on any
+// violation, rendering the replayable counterexample.
+func run(t *testing.T, name string, cfg modelcheck.Config) modelcheck.Result {
+	t.Helper()
+	res, err := modelcheck.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%s:\n%s", name, res.Violation)
+	}
+	if !res.Complete {
+		t.Fatalf("%s: exploration truncated by MaxDepth", name)
+	}
+	if res.Terminals == 0 {
+		t.Fatalf("%s: no terminal states reached", name)
+	}
+	t.Logf("%s: %d distinct states, %d terminals, depth %d — all invariants hold",
+		name, res.States, res.Terminals, res.Depth)
+	return res
+}
+
+// checked builds a config over the given coterie with the full default
+// invariant set plus the paper's message bound derived from the assignment.
+func checked(t *testing.T, cons coterie.Construction, n int) modelcheck.Config {
+	t.Helper()
+	assign, err := cons.Assign(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := modelcheck.BoundsFor(assign)
+	return modelcheck.Config{
+		Algorithm: core.Algorithm{Construction: cons},
+		N:         n,
+		Bound:     &b,
+	}
+}
+
+// TestExhaustiveSmall covers every delivery/request/exit interleaving of the
+// fault-free N=3 configurations on both coterie shapes. The grid run
+// exercises the transfer/inquire/yield machinery (site 0's quorum spans all
+// three sites).
+func TestExhaustiveSmall(t *testing.T) {
+	cfg := checked(t, coterie.Majority{}, 3)
+	cfg.MaxStates = 500_000
+	run(t, "majority-3", cfg)
+
+	cfg = checked(t, coterie.Grid{}, 3)
+	cfg.MaxStates = 2_000_000
+	run(t, "grid-3", cfg)
+}
+
+// TestExhaustiveCrashRecovery enumerates every schedule of the N=3 majority
+// configuration with one crash choice at every step: the §6 recovery path —
+// failure notifications interleaved with protocol traffic, quorum
+// reconstruction, dead-holder regrants, and lost in-flight messages from the
+// victim — must keep every invariant, including terminal deadlock freedom
+// (a single crash leaves a live majority quorum).
+func TestExhaustiveCrashRecovery(t *testing.T) {
+	cfg := checked(t, coterie.Majority{}, 3)
+	cfg.Crashes = 1
+	cfg.MaxStates = 5_000_000
+	run(t, "majority-3+crash", cfg)
+}
+
+// TestExhaustiveFour covers the fault-free N=4 majority configuration
+// (quorums of size 3, so every request crosses overlapping arbiters). Two
+// requesters fit the full invariant set including the message bound; three
+// requesters drop the bound counters from the canonical state (they explode
+// the space: ~200k states with them vs ~112k without at three requesters,
+// and all four requesters exceed 20M states either way).
+func TestExhaustiveFour(t *testing.T) {
+	cfg := checked(t, coterie.Majority{}, 4)
+	cfg.Requesters = []mutex.SiteID{0, 1}
+	cfg.MaxStates = 500_000
+	run(t, "majority-4(2 requesters)", cfg)
+
+	if testing.Short() {
+		return
+	}
+	cfg = checked(t, coterie.Majority{}, 4)
+	cfg.Requesters = []mutex.SiteID{0, 1, 2}
+	cfg.Bound = nil
+	cfg.MaxStates = 1_000_000
+	run(t, "majority-4(3 requesters)", cfg)
+}
+
+// TestExhaustiveFive covers N=5 fault-free on the tree coterie (the paper's
+// K=log n shape) and the majority coterie, with reduced requester sets to
+// keep the spaces enumerable; the idle sites still arbitrate every request.
+func TestExhaustiveFive(t *testing.T) {
+	cfg := checked(t, coterie.Tree{}, 5)
+	cfg.Requesters = []mutex.SiteID{0, 2, 4}
+	cfg.MaxStates = 500_000
+	run(t, "tree-5(3 requesters)", cfg)
+
+	cfg = checked(t, coterie.Majority{}, 5)
+	cfg.Requesters = []mutex.SiteID{0, 3}
+	cfg.MaxStates = 500_000
+	run(t, "majority-5(2 requesters)", cfg)
+}
+
+// TestExhaustiveTwoRounds lets sites run two CS executions issued at
+// nondeterministic times — the space where the early-release and transfer
+// races appear. Skipped in -short; `make modelcheck` runs it.
+func TestExhaustiveTwoRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-round model checking skipped in -short mode")
+	}
+	cfg := checked(t, coterie.Majority{}, 3)
+	cfg.PerSite = 2
+	cfg.Bound = nil // counters inflate the two-round space ~4x
+	cfg.MaxStates = 1_000_000
+	run(t, "majority-3×2", cfg)
+
+	cfg = checked(t, coterie.Grid{}, 3)
+	cfg.PerSite = 2
+	cfg.Requesters = []mutex.SiteID{0, 2}
+	cfg.MaxStates = 1_000_000
+	run(t, "grid-3×2(2 requesters)", cfg)
+}
+
+// TestBoundsMatchChaos pins BoundsFor to the chaos checker's MessageBounds:
+// the two verification pillars must assert the same envelope.
+func TestBoundsMatchChaos(t *testing.T) {
+	for _, tc := range []struct {
+		cons coterie.Construction
+		n    int
+	}{
+		{coterie.Majority{}, 3},
+		{coterie.Majority{}, 5},
+		{coterie.Grid{}, 9},
+		{coterie.Tree{}, 7},
+	} {
+		assign, err := tc.cons.Assign(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := chaos.MessageBounds(assign)
+		b := modelcheck.BoundsFor(assign)
+		if b.Lo != lo || b.Hi != hi {
+			t.Errorf("%s-%d: BoundsFor=[%v,%v], chaos.MessageBounds=[%v,%v]",
+				tc.cons.Name(), tc.n, b.Lo, b.Hi, lo, hi)
+		}
+	}
+}
+
+// TestCounterexampleReplay verifies the counterexample machinery end to end
+// with a deliberately broken invariant ("no site ever enters the CS"): the
+// violation must carry the shortest trace that enters a CS — request, deliver
+// the request, deliver the reply — and Replay must reproduce exactly the same
+// violation from the recorded choices.
+func TestCounterexampleReplay(t *testing.T) {
+	broken := modelcheck.NewInvariant("no-entry",
+		func(pre *modelcheck.State, act modelcheck.Action, post *modelcheck.State) error {
+			if s := post.Entered(); s != -1 {
+				return fmt.Errorf("site %d entered the CS", s)
+			}
+			return nil
+		}, nil)
+	cfg := modelcheck.Config{
+		Algorithm:  core.Algorithm{Construction: coterie.Majority{}},
+		N:          3,
+		Invariants: []modelcheck.Invariant{broken},
+		MaxStates:  100_000,
+	}
+	res, err := modelcheck.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("broken invariant produced no violation")
+	}
+	v := res.Violation
+	if v.Invariant != "no-entry" {
+		t.Fatalf("violated invariant = %q, want no-entry", v.Invariant)
+	}
+	// BFS yields a minimal counterexample: issuing one request and delivering
+	// the request and reply along site 0's two-member quorum is the shortest
+	// possible path into a CS.
+	if len(v.Trace) != 3 {
+		t.Fatalf("counterexample not minimal: %d choices\n%s", len(v.Trace), v)
+	}
+	if v.Dump == "" {
+		t.Fatal("violation carries no state dump")
+	}
+
+	replayed, log, err := modelcheck.Replay(cfg, v.Trace)
+	if err != nil {
+		t.Fatalf("replay: %v (log: %v)", err, log)
+	}
+	if replayed == nil {
+		t.Fatalf("replay of the counterexample ran clean; trace:\n%s", v)
+	}
+	if replayed.Invariant != v.Invariant || replayed.Msg != v.Msg {
+		t.Fatalf("replay reproduced %q/%q, want %q/%q", replayed.Invariant, replayed.Msg, v.Invariant, v.Msg)
+	}
+	if len(log) != len(v.Trace) {
+		t.Fatalf("replay log has %d steps for a %d-choice trace", len(log), len(v.Trace))
+	}
+}
+
+// TestStateBudget pins the budget contract: a cap below the space size must
+// abort with ErrStateBudget rather than run unbounded.
+func TestStateBudget(t *testing.T) {
+	cfg := modelcheck.Config{
+		Algorithm: core.Algorithm{Construction: coterie.Majority{}},
+		N:         3,
+		MaxStates: 10,
+	}
+	_, err := modelcheck.Run(cfg)
+	if !errors.Is(err, modelcheck.ErrStateBudget) {
+		t.Fatalf("got %v, want ErrStateBudget", err)
+	}
+}
+
+// TestDFSMatchesBFS: both search orders must visit the same state space.
+func TestDFSMatchesBFS(t *testing.T) {
+	cfg := checked(t, coterie.Majority{}, 3)
+	cfg.MaxStates = 500_000
+	bfs := run(t, "bfs", cfg)
+	cfg.DFS = true
+	dfs := run(t, "dfs", cfg)
+	if bfs.States != dfs.States || bfs.Terminals != dfs.Terminals {
+		t.Fatalf("bfs explored %d/%d, dfs %d/%d", bfs.States, bfs.Terminals, dfs.States, dfs.Terminals)
+	}
+}

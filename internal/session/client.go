@@ -98,6 +98,15 @@ type Client struct {
 	// it changes, invalidating grants from earlier incarnations.
 	sessionID    uint64
 	sessionEpoch uint64
+	// fence is the arbiter-minted fencing token from the last grant (see
+	// grantMsg.Epoch); 0 before the first attach.
+	fence uint64
+	// leaseBase is the local send time of the newest frame known to have
+	// reached the arbiter (the hello at attach, then each echoed keepalive);
+	// leaseBase + leaseTTL is a conservative lower bound on the server-side
+	// lease deadline. kaSent queues the send times of unechoed keepalives.
+	leaseBase time.Time
+	kaSent    []time.Time
 	// serverHeld is the authoritative held-lock set from the last grant,
 	// consulted when retrying releases across a reattach.
 	serverHeld map[string]bool
@@ -135,10 +144,10 @@ func Dial(ctx context.Context, cfg ClientConfig) (*Client, error) {
 		codec:       codec,
 		attachC:     make(chan struct{}),
 		attachArmed: true,
-		serverHeld: make(map[string]bool),
-		pending:    make(map[uint64]*call),
-		instances:  make(map[string]*clientInstance),
-		stopC:      make(chan struct{}),
+		serverHeld:  make(map[string]bool),
+		pending:     make(map[uint64]*call),
+		instances:   make(map[string]*clientInstance),
+		stopC:       make(chan struct{}),
 	}
 	c.mgr = resource.NewManager(resource.Config{
 		Policy: cfg.Policy,
@@ -177,6 +186,34 @@ func (c *Client) ID() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sessionID
+}
+
+// Fence returns the fencing token of the current session incarnation, as
+// minted by the arbiter in the grant (0 before the first attach). Tokens are
+// strictly increasing per arbiter and survive reattaches to the same
+// session; any failover that loses the session — and with it every held
+// lock — yields a larger token. A resource guarded by a session lock can
+// store the largest token it has accepted and reject older ones, fencing
+// out a client that lost its lease but has not yet noticed.
+func (c *Client) Fence() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fence
+}
+
+// LeaseDeadline returns a conservative lower bound on the instant the
+// arbiter's lease on this session expires: the send time of the newest
+// frame known (via its echo) to have reached the arbiter, plus the granted
+// TTL. The server's real deadline is never earlier — every received frame
+// renews the full TTL there — so holding work past this instant risks the
+// locks being reclaimed. Zero when no session has been granted yet.
+func (c *Client) LeaseDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leaseBase.IsZero() || c.leaseTTL <= 0 {
+		return time.Time{}
+	}
+	return c.leaseBase.Add(c.leaseTTL)
 }
 
 // Err returns the terminal error once the session is lost or closed.
@@ -273,7 +310,7 @@ func (c *Client) run() {
 			return
 		default:
 		}
-		sc, grant, err := c.dialOne(c.cfg.Addrs[addrIdx%len(c.cfg.Addrs)])
+		sc, grant, helloSent, err := c.dialOne(c.cfg.Addrs[addrIdx%len(c.cfg.Addrs)])
 		if err != nil {
 			addrIdx++
 			if disconnectedAt.IsZero() {
@@ -301,7 +338,7 @@ func (c *Client) run() {
 			continue
 		}
 		disconnectedAt = time.Time{}
-		if !c.attach(sc, grant) {
+		if !c.attach(sc, grant, helloSent) {
 			sc.close()
 			return
 		}
@@ -312,48 +349,51 @@ func (c *Client) run() {
 	}
 }
 
-// dialOne performs one dial + handshake + hello/grant exchange.
-func (c *Client) dialOne(addr string) (*sessionConn, grantMsg, error) {
+// dialOne performs one dial + handshake + hello/grant exchange. helloSent
+// is the local send time of the hello the grant answered — the base for
+// the client's conservative lease-deadline bound.
+func (c *Client) dialOne(addr string) (sc *sessionConn, grant grantMsg, helloSent time.Time, err error) {
 	c.mu.Lock()
 	id := c.sessionID
 	c.mu.Unlock()
 	nc, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
 	if err != nil {
-		return nil, grantMsg{}, err
+		return nil, grantMsg{}, time.Time{}, err
 	}
-	sc, err := clientHandshake(nc, c.codec, c.cfg.DialTimeout)
+	sc, err = clientHandshake(nc, c.codec, c.cfg.DialTimeout)
 	if err != nil {
 		nc.Close()
-		return nil, grantMsg{}, err
+		return nil, grantMsg{}, time.Time{}, err
 	}
 	hello := helloMsg{SessionID: id, TTLMillis: uint64(c.cfg.Lease / time.Millisecond)}
+	helloSent = time.Now()
 	if err := sc.send(envelope("", hello)); err != nil {
 		sc.close()
-		return nil, grantMsg{}, err
+		return nil, grantMsg{}, time.Time{}, err
 	}
 	sc.c.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
 	env, err := sc.recv()
 	if err != nil {
 		sc.close()
-		return nil, grantMsg{}, err
+		return nil, grantMsg{}, time.Time{}, err
 	}
 	grant, ok := env.Msg.(grantMsg)
 	if !ok {
 		sc.close()
-		return nil, grantMsg{}, fmt.Errorf("session: expected grant, got %T", env.Msg)
+		return nil, grantMsg{}, time.Time{}, fmt.Errorf("session: expected grant, got %T", env.Msg)
 	}
 	if grant.Err != "" {
 		sc.close()
-		return nil, grantMsg{}, fmt.Errorf("session: arbiter rejected hello: %s", grant.Err)
+		return nil, grantMsg{}, time.Time{}, fmt.Errorf("session: arbiter rejected hello: %s", grant.Err)
 	}
 	sc.c.SetReadDeadline(time.Time{})
-	return sc, grant, nil
+	return sc, grant, helloSent, nil
 }
 
 // attach installs a freshly granted connection, reconciling session
 // identity and held-lock state, and wakes waiting operations. It reports
 // false when the client was closed concurrently.
-func (c *Client) attach(sc *sessionConn, grant grantMsg) bool {
+func (c *Client) attach(sc *sessionConn, grant grantMsg, helloSent time.Time) bool {
 	var orphans []string
 	c.mu.Lock()
 	if c.closed {
@@ -368,7 +408,13 @@ func (c *Client) attach(sc *sessionConn, grant grantMsg) bool {
 		c.sessionID = grant.SessionID
 		c.sessionEpoch++
 	}
+	c.fence = grant.Epoch
 	c.leaseTTL = time.Duration(grant.TTLMillis) * time.Millisecond
+	// The grant proves the hello arrived, so the lease was renewed no
+	// earlier than the hello's send time; unechoed keepalives from the old
+	// connection will never be confirmed.
+	c.leaseBase = helloSent
+	c.kaSent = nil
 	c.serverHeld = make(map[string]bool, len(grant.Held))
 	for _, name := range grant.Held {
 		c.serverHeld[name] = true
@@ -434,6 +480,15 @@ func (c *Client) pump(sc *sessionConn) {
 		c.lastIn = time.Now()
 		switch msg := env.Msg.(type) {
 		case keepaliveMsg:
+			// The echo confirms the oldest unacknowledged keepalive reached
+			// the arbiter and renewed the lease at (no earlier than) its
+			// send time. Echoes come back in send order on this stream.
+			if len(c.kaSent) > 0 {
+				if t := c.kaSent[0]; t.After(c.leaseBase) {
+					c.leaseBase = t
+				}
+				c.kaSent = c.kaSent[1:]
+			}
 			c.mu.Unlock()
 		case lockRepMsg:
 			if cl := c.pending[msg.ReqID]; cl != nil {
@@ -490,7 +545,12 @@ func (c *Client) keepaliveLoop(sc *sessionConn, stop chan struct{}) {
 			sc.kill()
 			return
 		}
+		c.mu.Lock()
+		c.kaSent = append(c.kaSent, time.Now())
+		c.mu.Unlock()
 		if err := sc.send(envelope("", keepaliveMsg{SessionID: id})); err != nil {
+			// The queued entry is never echoed; attach resets the queue
+			// when the replacement connection comes up.
 			sc.kill()
 			return
 		}

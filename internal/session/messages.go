@@ -62,11 +62,15 @@ func (helloMsg) Kind() string { return "sess-hello" }
 // from the ID the client asked to reattach, the server did not know the old
 // session and every lock it held is gone. Held lists the lock names the
 // granted session holds server-side, letting a reattaching client reconcile
-// grants whose replies were lost in flight. A non-empty Err rejects the
-// hello (the connection is then closed).
+// grants whose replies were lost in flight. Epoch is the session's fencing
+// token: minted strictly increasing per arbiter when a session is created,
+// preserved across reattaches to the same session, so a downstream resource
+// can reject writes fenced with a token older than the newest it has seen.
+// A non-empty Err rejects the hello (the connection is then closed).
 type grantMsg struct {
 	SessionID uint64
 	TTLMillis uint64
+	Epoch     uint64
 	Held      []string
 	Err       string
 }
@@ -134,6 +138,7 @@ func init() {
 			g := m.(grantMsg)
 			b = wire.AppendUint(b, g.SessionID)
 			b = wire.AppendUint(b, g.TTLMillis)
+			b = wire.AppendUint(b, g.Epoch)
 			b = wire.AppendUint(b, uint64(len(g.Held)))
 			for _, name := range g.Held {
 				b = wire.AppendString(b, name)
@@ -141,7 +146,7 @@ func init() {
 			return wire.AppendString(b, g.Err)
 		},
 		func(r *wire.Reader) (mutex.Message, error) {
-			g := grantMsg{SessionID: r.Uint(), TTLMillis: r.Uint()}
+			g := grantMsg{SessionID: r.Uint(), TTLMillis: r.Uint(), Epoch: r.Uint()}
 			n := r.Len()
 			if n > 0 {
 				g.Held = make([]string, 0, n)

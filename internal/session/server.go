@@ -90,8 +90,13 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[uint64]*serverSession
 	nextID   uint64
-	closed   bool
-	stats    Stats
+	// lastEpoch is the newest fencing token minted; new sessions take
+	// max(lastEpoch+1, unix-nanos) so tokens stay strictly increasing within
+	// an arbiter and, being time-derived, advance across arbiter restarts
+	// and failovers in practice.
+	lastEpoch uint64
+	closed    bool
+	stats     Stats
 
 	stopC chan struct{}
 	wg    sync.WaitGroup
@@ -100,8 +105,9 @@ type Server struct {
 // serverSession is the arbiter-side session state. All fields below the
 // embedded identity are guarded by the owning Server's mutex.
 type serverSession struct {
-	id  uint64
-	ttl time.Duration
+	id    uint64
+	ttl   time.Duration
+	epoch uint64 // fencing token; fixed at session creation
 
 	deadline time.Time
 	conn     *sessionConn
@@ -363,7 +369,7 @@ func (srv *Server) attach(sc *sessionConn, hello helloMsg) (*serverSession, gran
 			held = append(held, name)
 		}
 		sort.Strings(held)
-		return s, grantMsg{SessionID: s.id, TTLMillis: uint64(s.ttl / time.Millisecond), Held: held}
+		return s, grantMsg{SessionID: s.id, TTLMillis: uint64(s.ttl / time.Millisecond), Epoch: s.epoch, Held: held}
 	}
 	id := srv.nextID
 	srv.nextID++
@@ -371,10 +377,16 @@ func (srv *Server) attach(sc *sessionConn, hello helloMsg) (*serverSession, gran
 		id = srv.nextID
 		srv.nextID++
 	}
+	epoch := uint64(time.Now().UnixNano())
+	if epoch <= srv.lastEpoch {
+		epoch = srv.lastEpoch + 1
+	}
+	srv.lastEpoch = epoch
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &serverSession{
 		id:       id,
 		ttl:      ttl,
+		epoch:    epoch,
 		deadline: time.Now().Add(ttl),
 		conn:     sc,
 		held:     make(map[string]*resource.Lock),
@@ -386,7 +398,7 @@ func (srv *Server) attach(sc *sessionConn, hello helloMsg) (*serverSession, gran
 	srv.stats.Opened++
 	srv.stats.Attaches++
 	srv.emitLocked(obs.EventSessionOpen)
-	return s, grantMsg{SessionID: id, TTLMillis: uint64(ttl / time.Millisecond)}
+	return s, grantMsg{SessionID: id, TTLMillis: uint64(ttl / time.Millisecond), Epoch: epoch}
 }
 
 // emitLocked emits with srv.mu held (the sink must not call back).
@@ -448,7 +460,7 @@ func (srv *Server) readLoop(s *serverSession, sc *sessionConn) {
 			sort.Strings(held)
 			ttl := s.ttl
 			srv.mu.Unlock()
-			sc.send(envelope("", grantMsg{SessionID: s.id, TTLMillis: uint64(ttl / time.Millisecond), Held: held}))
+			sc.send(envelope("", grantMsg{SessionID: s.id, TTLMillis: uint64(ttl / time.Millisecond), Epoch: s.epoch, Held: held}))
 		default:
 			// Unknown-but-decodable frames are ignored for forward compat.
 		}

@@ -372,6 +372,113 @@ func TestBadPreambleRejected(t *testing.T) {
 	}
 }
 
+// TestLeaseExpiryMidHold pins the ErrLockLost contract from the holder's
+// side: a client whose lease expires while it still believes it holds a
+// lock must see resource.ErrLockLost on Release, a strictly larger fencing
+// token on the replacement session, and a handle that stays usable. The
+// client's keepalives are configured far apart so the lease runs out with
+// the client alive and attached — the arbiter expires it mid-hold.
+func TestLeaseExpiryMidHold(t *testing.T) {
+	const lease = 300 * time.Millisecond
+	addrs, srvs := startArbiters(t, 3, []int{0}, lease, nil, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, ClientConfig{
+		Addrs: addrs,
+		Lease: lease,
+		// Never renew: the first keepalive would land after the lease is
+		// long gone, so the arbiter must expire the session mid-hold.
+		Keepalive:      time.Hour,
+		FailoverWindow: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	oldID, oldFence := c.ID(), c.Fence()
+	if oldFence == 0 {
+		t.Fatal("no fencing token after Dial")
+	}
+	deadline := c.LeaseDeadline()
+	if deadline.IsZero() || !deadline.After(time.Now()) {
+		t.Fatalf("lease deadline %v, want a future instant", deadline)
+	}
+	l, err := c.Lock("held")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait out the expiry: the arbiter reclaims the lock and pushes an
+	// expire notice; the client re-dials into a fresh session.
+	waitUntil := time.Now().Add(15 * time.Second)
+	for c.ID() == oldID || c.ID() == 0 {
+		if time.Now().After(waitUntil) {
+			t.Fatalf("session never expired (id still %d)", c.ID())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if time.Now().Before(deadline) {
+		t.Fatalf("session expired before the advertised LeaseDeadline %v", deadline)
+	}
+	if st := srvs[0].Stats(); st.Expired == 0 || st.Reclaimed == 0 {
+		t.Fatalf("arbiter stats = %+v, want the expiry + reclaim recorded", st)
+	}
+
+	// The hold is gone: Release reports it, exactly once.
+	if err := l.Release(); !errors.Is(err, resource.ErrLockLost) {
+		t.Fatalf("release after mid-hold expiry: got %v, want ErrLockLost", err)
+	}
+	if err := l.Release(); !errors.Is(err, transport.ErrNotHeld) {
+		t.Fatalf("second release: got %v, want ErrNotHeld", err)
+	}
+
+	// The replacement session carries a strictly larger fencing token and a
+	// fresh lease bound; the handle is reusable.
+	if newFence := c.Fence(); newFence <= oldFence {
+		t.Fatalf("fence did not advance across expiry: %d -> %d", oldFence, newFence)
+	}
+	if nd := c.LeaseDeadline(); !nd.After(deadline) {
+		t.Fatalf("lease deadline did not advance: %v -> %v", deadline, nd)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("re-acquire after expiry: %v", err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseDeadlineAdvances pins the keepalive side of LeaseDeadline: with
+// renewals flowing, the echoed keepalives keep pushing the conservative
+// bound forward, so a long-lived client never sees its own deadline pass.
+func TestLeaseDeadlineAdvances(t *testing.T) {
+	const lease = 300 * time.Millisecond
+	addrs, _ := startArbiters(t, 3, []int{0}, lease, nil, nil)
+	c := dialClient(t, addrs, lease)
+	first := c.LeaseDeadline()
+	if first.IsZero() {
+		t.Fatal("no lease deadline after Dial")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.LeaseDeadline() == first {
+		if time.Now().After(deadline) {
+			t.Fatal("lease deadline never advanced under keepalives")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := time.Now(); now.After(c.LeaseDeadline()) {
+		t.Fatalf("deadline %v already passed at %v despite live keepalives", c.LeaseDeadline(), now)
+	}
+	// Same session throughout: the fence must not have moved.
+	if id, fence := c.ID(), c.Fence(); id == 0 || fence == 0 {
+		t.Fatalf("session (%d) / fence (%d) lost under keepalives", id, fence)
+	}
+}
+
 // TestChaosLeaseRecoveryComposition is the lease-expiry ⇄ §6 recovery
 // composition drill: under a seeded chaos fabric (drops + delay — the
 // reliable sublayer heals the loss), a client crashes mid-hold and a waiter
