@@ -29,8 +29,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The full suite under the race detector. The explicit timeout is a
+# hang detector, not a perf budget: the exhaustive modelcheck spaces run
+# several minutes under -race and sit too close to go test's 10m default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Seeded adversarial gate: the short conformance sweep, the lossy-liveness
 # sweep (drop-only schedules must complete every round — the reliable
@@ -83,7 +86,7 @@ bench:
 # gob by >= 3x in round-trip ns/op with a zero-allocation encode path).
 # Part of check.
 bench-smoke:
-	$(GO) test -run 'TestLiveHandoffAB|TestBenchSmoke|TestTCPProtocolsAndCodecs' -count=1 -timeout 120s ./internal/loadgen
+	$(GO) test -run 'TestLiveHandoffAB|TestBenchSmoke|TestTCPProtocolsAndCodecs|TestReconfigureMidLoad' -count=1 -timeout 120s ./internal/loadgen
 	$(GO) test -run TestCodecAB -count=1 -timeout 120s ./internal/core
 
 # Gob-vs-binary codec A/B: codec-level encode/decode microbenchmarks, the

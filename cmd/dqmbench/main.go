@@ -13,6 +13,7 @@
 //	dqmbench -ab                               # transfer vs 2T-fallback A/B
 //	dqmbench -ab -driver tcp -n 7 -quorum tree # the paper's claim, on TCP
 //	dqmbench -driver tcp -codec gob            # pin the v0 gob wire codec
+//	dqmbench -n 5 -quorum majority -reconfigure 7  # acquire p99 across a live epoch switch
 //
 // Every run is seeded (-seed): rerunning with the same flags replays the
 // same key and arrival sequences. The -hop flag imposes a deterministic
@@ -55,6 +56,7 @@ func main() {
 		measure   = flag.Duration("measure", 2*time.Second, "measure window")
 		seed      = flag.Int64("seed", 42, "generator seed (same seed, same sequences)")
 		ab        = flag.Bool("ab", false, "run each cell twice: transfer path vs forced 2T release fallback")
+		reconf    = flag.Int("reconfigure", 0, "grow the cluster to this size mid-measure (inproc driver; joint-quorum handover)")
 		outDir    = flag.String("out", ".", "directory for the BENCH_live_<name>.json artifact")
 		name      = flag.String("name", "", "artifact name (default: sweep or handoff-ab)")
 	)
@@ -104,9 +106,10 @@ func main() {
 						Think:     *think,
 						Hold:      *hold,
 						HopDelay:  *hop,
-						Warmup:    *warmup,
-						Measure:   *measure,
-						Seed:      *seed,
+						Warmup:      *warmup,
+						Measure:     *measure,
+						Seed:        *seed,
+						Reconfigure: *reconf,
 					}
 					switch driver {
 					case loadgen.DriverTCP:
@@ -134,6 +137,13 @@ func main() {
 						}
 						runs = append(runs, rep)
 						w.row(rep)
+						if rep.ReconfigureN > 0 {
+							fmt.Printf("    -> epoch switch %d→%d sites in %.1fms (epoch %d); acq-p99 before/during/after = %v/%v/%v\n",
+								rep.N, rep.ReconfigureN, rep.SwitchMS, rep.EpochAfter,
+								time.Duration(rep.AcquireBefore.P99),
+								time.Duration(rep.AcquireDuring.P99),
+								time.Duration(rep.AcquireAfter.P99))
+						}
 					}
 				}
 			}

@@ -38,12 +38,37 @@
 //
 //	/metrics     the metrics snapshot as JSON (per-kind message counters,
 //	             messages per CS, sync/response/waiting delay stats in ns,
-//	             and — on arbiters — session lifecycle counters);
-//	             ?resource=name isolates one named lock
+//	             the membership epoch/stage, and — on arbiters — session
+//	             lifecycle counters); ?resource=name isolates one named lock
 //	/debug       a human-readable status page with the snapshot, the
-//	             instantiated lock names, session/lease counters when
-//	             serving, and the most recent events
+//	             membership epoch, the instantiated lock names,
+//	             session/lease counters when serving, and the most recent
+//	             events
 //	/debug/vars  the aggregate snapshot under the "dqmx" expvar
+//	/reconfigure apply one phase of a joint-quorum membership handover to
+//	             this site (POST; operator-driven — see below)
+//
+// # Reconfiguration
+//
+// A TCP cluster changes size or coterie without stopping: the operator
+// plans one handover and applies it phase by phase, to every site, via
+// /reconfigure. Growing a 3-site grid cluster to 5:
+//
+//	# 1. start sites 3 and 4 with the full 5-site address book
+//	# 2. joint phase on EVERY site (old and new):
+//	curl -X POST 'host0:8100/reconfigure?phase=joint&to=5'
+//	...
+//	# 3. once all report the joint stage, final phase on every site:
+//	curl -X POST 'host0:8100/reconfigure?phase=final&to=5'
+//	...
+//
+// Query parameters: to (target size, required), quorum (target
+// construction, default: this site's -quorum), from (current size, default:
+// this site's view) and from-quorum (current construction). The final phase
+// must not start anywhere until the joint phase finished everywhere —
+// mutual exclusion is safe in any interleaving within a phase, not across
+// phases. Shrinking works the same; departing sites are simply stopped
+// after the final phase.
 package main
 
 import (
@@ -154,7 +179,7 @@ func run() error {
 	}
 
 	if *httpAddr != "" {
-		if err := serveHTTP(*httpAddr, *id, *n, peer, ring, srv); err != nil {
+		if err := serveHTTP(*httpAddr, *id, *n, *quorum, peer, ring, srv); err != nil {
 			return err
 		}
 	}
@@ -265,7 +290,11 @@ func (r *ringLog) events() []dqmx.TraceEvent {
 	return append(out, r.buf[:r.next]...)
 }
 
-func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog, srv *dqmx.Server) error {
+// stageInfo decodes a membership stage into its epoch and phase (stable
+// stages are even, joint stages odd — see internal/membership).
+func stageInfo(stage uint64) (epoch uint64, joint bool) { return stage / 2, stage%2 == 1 }
+
+func serveHTTP(addr string, id, n int, quorum string, peer *dqmx.TCPPeer, ring *ringLog, srv *dqmx.Server) error {
 	snapshot := func() dqmx.MetricsSnapshot {
 		s, _ := peer.Snapshot()
 		return s
@@ -280,15 +309,41 @@ func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog, srv *d
 				return
 			}
 		}
+		epoch, joint := stageInfo(peer.Stage())
+		out := struct {
+			Epoch uint64 `json:"epoch"`
+			Stage uint64 `json:"stage"`
+			Joint bool   `json:"joint"`
+			dqmx.MetricsSnapshot
+		}{epoch, peer.Stage(), joint, s}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(s)
+		_ = enc.Encode(out)
+	})
+	http.HandleFunc("/reconfigure", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := handleReconfigure(r, id, quorum, peer); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		epoch, joint := stageInfo(peer.Stage())
+		fmt.Fprintf(w, "site %d now at epoch %d (stage %d, joint=%v), n=%d\n",
+			id, epoch, peer.Stage(), joint, peer.N())
 	})
 	http.HandleFunc("/debug", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s := snapshot()
-		fmt.Fprintf(w, "site %d of %d\n\n", id, n)
+		fmt.Fprintf(w, "site %d of %d\n", id, n)
+		epoch, joint := stageInfo(peer.Stage())
+		fmt.Fprintf(w, "membership  epoch %d  stage %d  joint %v  n %d\n", epoch, peer.Stage(), joint, peer.N())
+		if hint, behind := peer.MembershipHint(); behind {
+			fmt.Fprintf(w, "WARNING: peers run membership stage %d; this site slept through a reconfiguration\n", hint)
+		}
+		fmt.Fprintf(w, "\n")
 		fmt.Fprintf(w, "locks:")
 		for _, name := range peer.Resources() {
 			if name == "" {
@@ -328,6 +383,62 @@ func serveHTTP(addr string, id, n int, peer *dqmx.TCPPeer, ring *ringLog, srv *d
 		fmt.Printf("site %d serving /metrics and /debug on %s\n", id, addr)
 		return nil
 	}
+}
+
+// handleReconfigure applies one handover phase to the local peer. The plan
+// is recomputed from the query parameters on every call — quorum
+// assignments are deterministic, so sites planning independently from the
+// same parameters agree on every req_set.
+func handleReconfigure(r *http.Request, id int, defQuorum string, peer *dqmx.TCPPeer) error {
+	q := r.URL.Query()
+	to, err := strconv.Atoi(q.Get("to"))
+	if err != nil || to < 1 {
+		return fmt.Errorf("bad or missing target size %q (want ?to=N)", q.Get("to"))
+	}
+	from := peer.N()
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.Atoi(v); err != nil {
+			return fmt.Errorf("bad current size %q: %w", v, err)
+		}
+	}
+	newQ := q.Get("quorum")
+	if newQ == "" {
+		newQ = defQuorum
+	}
+	oldQ := q.Get("from-quorum")
+	if oldQ == "" {
+		oldQ = defQuorum
+	}
+	epoch, joint := stageInfo(peer.Stage())
+	if v := q.Get("epoch"); v != "" {
+		// A joining site starts at epoch 0 and must be told the cluster's
+		// real epoch for its joint stage to match everyone else's.
+		if epoch, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return fmt.Errorf("bad epoch %q: %w", v, err)
+		}
+		joint = false
+	}
+	phase := q.Get("phase")
+	switch phase {
+	case "joint":
+		if joint {
+			return fmt.Errorf("site already runs a joint stage (epoch %d); finish that handover first", epoch)
+		}
+	case "final":
+		if !joint && q.Get("epoch") == "" {
+			return fmt.Errorf("site runs a stable stage (epoch %d); apply phase=joint everywhere first", epoch)
+		}
+	default:
+		return fmt.Errorf("bad phase %q (want ?phase=joint or ?phase=final)", phase)
+	}
+	plan, err := dqmx.PlanHandover(epoch, from, dqmx.Quorum(oldQ), to, dqmx.Quorum(newQ))
+	if err != nil {
+		return err
+	}
+	if phase == "joint" {
+		return plan.ApplyJoint(peer, dqmx.SiteID(id))
+	}
+	return plan.ApplyFinal(peer, dqmx.SiteID(id))
 }
 
 func fmtDelay(d dqmx.DelayStats) string {

@@ -431,23 +431,33 @@ func (q Quorum) construction() (coterie.Construction, error) {
 
 // algorithm materializes the options into a protocol implementation.
 func (o Options) algorithm() (mutex.Algorithm, error) {
+	alg, _, err := o.algorithmAndConstruction()
+	return alg, err
+}
+
+// algorithmAndConstruction materializes the options and also returns the
+// resolved coterie construction, which live clusters keep for membership
+// tracking (epoch-stamped reconfiguration plans over the same coterie
+// family).
+func (o Options) algorithmAndConstruction() (mutex.Algorithm, coterie.Construction, error) {
 	cons, err := o.Quorum.construction()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	alg, err := harness.NewAlgorithmOpts(string(o.Protocol), cons, harness.AlgorithmOptions{
 		DisableRecovery: o.disableRecovery(),
 		DisableTransfer: o.disableTransfer(),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("dqmx: %w", err)
+		return nil, nil, fmt.Errorf("dqmx: %w", err)
 	}
-	return alg, nil
+	return alg, cons, nil
 }
 
 // Cluster hosts all N sites in one process.
 type Cluster struct {
-	inner *transport.Cluster
+	inner  *transport.Cluster
+	quorum Quorum // the construction Reconfigure keeps when the target names none
 }
 
 // NewCluster starts an in-process cluster of n sites running the
@@ -469,22 +479,23 @@ func NewClusterWith(n int, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	alg, err := opts.algorithm()
+	alg, cons, err := opts.algorithmAndConstruction()
 	if err != nil {
 		return nil, err
 	}
 	inner, err := transport.NewClusterConfig(transport.ClusterConfig{
-		Algorithm: alg,
-		N:         n,
-		Metrics:   opts.collector(),
-		Observer:  opts.observer(),
-		Policy:    opts.Resources,
-		Chaos:     plan,
+		Algorithm:    alg,
+		N:            n,
+		Metrics:      opts.collector(),
+		Observer:     opts.observer(),
+		Policy:       opts.Resources,
+		Chaos:        plan,
+		Construction: cons,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner}, nil
+	return &Cluster{inner: inner, quorum: opts.Quorum}, nil
 }
 
 // collector builds the metrics aggregator when the options ask for one.
@@ -597,6 +608,7 @@ func newTCPPeer(n int, id SiteID, listenAddr string, peers map[SiteID]string, op
 		},
 		ListenAddr: listenAddr,
 		Peers:      peers,
+		N:          n,
 		Metrics:    col,
 		Observer:   opts.observer(),
 		Policy:     opts.Resources,

@@ -67,6 +67,11 @@ type reqState struct {
 	// rebuild re-sends requests, which un-settles the wave until the new
 	// messages land — exactly the window in which overtaking is legal.
 	settleSeq uint64
+	// withdrawn is set when the still-waiting request sends a release — a
+	// withdrawal (§6 recovery or a membership swap pulling the request from
+	// departing arbiters). A withdrawn arbiter may grant anyone, so the
+	// order guarantee is void for this wave from then on.
+	withdrawn bool
 	since     time.Time
 }
 
@@ -158,6 +163,15 @@ func (c *Checker) Observe(e obs.Event) {
 				req.settleSeq = 0
 			}
 		}
+		// A release sent while the site is still waiting is a withdrawal:
+		// the freed arbiter may now grant a later request, so this wave can
+		// be overtaken legally for good.
+		if e.Kind == mutex.KindRelease {
+			if req := rs.pending[e.Site]; req != nil {
+				req.withdrawn = true
+				req.settleSeq = 0
+			}
+		}
 	case obs.EventEnter:
 		if rs.held {
 			c.violate("safety", e.Resource, e.Site,
@@ -224,7 +238,7 @@ func (c *Checker) Delivered(env mutex.Envelope, dup bool) {
 	if req.outstanding > 0 {
 		req.outstanding--
 	}
-	if req.outstanding == 0 && req.settleSeq == 0 {
+	if req.outstanding == 0 && req.settleSeq == 0 && !req.withdrawn {
 		c.seq++
 		req.settleSeq = c.seq
 	}

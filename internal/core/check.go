@@ -26,13 +26,14 @@ func (s *Site) CloneForCheck() mutex.Site { return s.clone() }
 // arbiter half (including buffered early releases), the §6 recovery state
 // (known-failed sites, the deferred replacement quorum), and the Lamport
 // clock — omitting the clock would merge states that issue differently
-// prioritized future requests. Statistics counters and construction-time
-// configuration (which never changes mid-run) are excluded.
+// prioritized future requests. The online membership (system size and stage
+// tag) is covered too, since SetMembership changes it mid-run. Statistics
+// counters and construction-time configuration are excluded.
 func (s *Site) CanonicalState() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "S%d{%v %v c=%d f=%v r=%s q=%v nq=%v fs=%s d=%s t=%v p=%s|L=%v Q=%v i=%v lt=%v v=%v er=%s rd=%s}",
+	fmt.Fprintf(&b, "S%d{%v %v c=%d f=%v r=%s q=%v nq=%v n=%d ms=%d fs=%s d=%s t=%v p=%s|L=%v Q=%v i=%v lt=%v v=%v er=%s rd=%s}",
 		s.id, s.state, s.reqTS, s.clock.Now(), s.failed, canonSet(s.replied),
-		s.quorum, s.nextQuorum, canonSet(s.failedSites), canonSet(s.inqDeferred),
+		s.quorum, s.nextQuorum, s.n, s.memberStage, canonSet(s.failedSites), canonSet(s.inqDeferred),
 		s.tranStack, canonPend(s.pendTransfers),
 		s.lock, s.queue.items, s.inquired, s.lastTransfer, s.lockVia,
 		canonEarly(s.earlyReleases), canonRefresh(s.refreshDead))

@@ -8,7 +8,9 @@ import (
 
 // clone deep-copies the site's protocol state. Used by the exhaustive
 // model checker to branch executions; the clock is copied by value (it is a
-// small struct behind a pointer).
+// small struct behind a pointer). memberStage copies with the struct;
+// memberAvoid is intentionally shared — it is an immutable closure over the
+// handover plan, not mutable state.
 func (s *Site) clone() *Site {
 	c := *s
 	clk := *s.clock

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"dqmx/internal/coterie"
 	"dqmx/internal/mutex"
 	"dqmx/internal/timestamp"
 )
@@ -113,11 +114,8 @@ func (s *Site) requesterPurge(f mutex.SiteID, _ *mutex.Output) {
 // the ones that join. When no live quorum exists the old quorum is kept and
 // the request blocks — safety over progress.
 func (s *Site) rebuildQuorum(f mutex.SiteID, out *mutex.Output) {
-	if s.cons == nil {
-		return
-	}
-	newQ, err := s.cons.QuorumAvoiding(s.n, s.id, s.failedSites)
-	if err != nil {
+	newQ, ok := s.replacementQuorum()
+	if !ok {
 		return // no live quorum; keep waiting
 	}
 	old := s.quorum
@@ -149,4 +147,26 @@ func (s *Site) rebuildQuorum(f mutex.SiteID, out *mutex.Output) {
 	// the refresh that SiteFailed runs after the rebuild: they are exactly the
 	// quorum members without a reply.
 	s.checkEntry(out)
+}
+
+// replacementQuorum picks the substitute req_set for a §6 rebuild: the
+// active membership's avoiding rule when one is installed (it keeps a joint
+// handover quorum joint), otherwise the construction's QuorumAvoiding.
+// ok is false when no live quorum exists.
+func (s *Site) replacementQuorum() (coterie.Quorum, bool) {
+	if s.memberAvoid != nil {
+		ids, ok := s.memberAvoid(s.failedSites)
+		if !ok {
+			return nil, false
+		}
+		return coterie.Quorum(ids), true
+	}
+	if s.cons == nil {
+		return nil, false
+	}
+	q, err := s.cons.QuorumAvoiding(s.n, s.id, s.failedSites)
+	if err != nil {
+		return nil, false
+	}
+	return q, true
 }

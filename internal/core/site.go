@@ -65,6 +65,14 @@ type Site struct {
 	nextQuorum  coterie.Quorum // replacement quorum deferred until Exit (§6)
 	failedSites map[mutex.SiteID]bool
 
+	// Online membership (mutex.Reconfigurable). memberStage tags the most
+	// recent SetMembership (0 = construction default); memberAvoid, when
+	// non-nil, replaces cons.QuorumAvoiding for §6 rebuilds so a crash
+	// during a joint handover phase is healed with a quorum that still
+	// intersects both coteries.
+	memberStage uint64
+	memberAvoid func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool)
+
 	// Requester half.
 	state         siteState
 	reqTS         timestamp.Timestamp
@@ -470,14 +478,23 @@ func (s *Site) onRelease(m releaseMsg, out *mutex.Output) {
 // applyRelease performs the release of the current lock holder's request.
 func (s *Site) applyRelease(m releaseMsg, out *mutex.Output) {
 	if m.Fwd != timestamp.None && !s.failedSites[m.Fwd] {
-		s.queue.Remove(m.FwdTS)
-		// The forwarding proxy is the releasing holder itself. If a §6
-		// refresh from the target declared that proxy dead, the proxied
-		// reply died in the severed proxy→target channel — re-issue it.
-		reissue := s.refreshClaims(m.FwdTS, m.ReqTS.Site)
+		removed := s.queue.Remove(m.FwdTS)
+		_, early := s.earlyReleases[m.FwdTS]
+		if removed || early {
+			// The forwarding proxy is the releasing holder itself. If a §6
+			// refresh from the target declared that proxy dead, the proxied
+			// reply died in the severed proxy→target channel — re-issue it.
+			reissue := s.refreshClaims(m.FwdTS, m.ReqTS.Site)
+			s.clearRefresh(m.FwdTS)
+			s.setLock(m.FwdTS, m.ReqTS.Site, reissue, out)
+			return
+		}
+		// The forwarded request is neither queued nor released-ahead: it
+		// withdrew from this arbiter (a §6 rebuild or a membership swap)
+		// after the transfer naming it was issued, so it will never send the
+		// release that clears a re-pointed lock. The permission returns to
+		// the pool as a plain release instead.
 		s.clearRefresh(m.FwdTS)
-		s.setLock(m.FwdTS, m.ReqTS.Site, reissue, out)
-		return
 	}
 	if s.queue.Empty() {
 		s.lock = timestamp.Max
@@ -518,8 +535,8 @@ func (s *Site) setLock(ts timestamp.Timestamp, via mutex.SiteID, reissue bool, o
 func (s *Site) onReply(m replyMsg, out *mutex.Output) {
 	if s.state == stateInCS && m.ReqTS == s.reqTS {
 		// A crash-refresh duplicate of a permission we already hold raced our
-		// entry: ignore it — the Exit release (or the withdrawal already in
-		// flight, if the arbiter left our quorum) settles the arbiter.
+		// entry: ignore it — the Exit release (or the withdrawal already
+		// consumed, if the arbiter left our quorum) settles the arbiter.
 		// Declining would bounce a release that regrants a permission in use.
 		return
 	}

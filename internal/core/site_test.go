@@ -398,6 +398,48 @@ func TestWithdrawalRemovesQueuedRequest(t *testing.T) {
 	_ = out
 }
 
+// TestForwardingReleaseAfterWithdrawalReturnsPermission pins the arbiter
+// half of a membership-swap race: a queued request is named in a transfer
+// toward the holder, then withdraws (its site swapped onto a req_set that no
+// longer contains this arbiter) before the holder's forwarding release
+// lands. Re-pointing the lock at the withdrawn request would wedge it
+// forever — the withdrawn site releases only to its new req_set — so the
+// forwarding release must degrade to a plain release and grant the next
+// waiter. Found as a live 7→4 shrink deadlock by the chaos reconfigure
+// archetype (seed 61006).
+func TestForwardingReleaseAfterWithdrawalReturnsPermission(t *testing.T) {
+	s := mkSite(1)
+	deliver(s, 2, requestMsg{TS: ts(5, 2)}) // locks
+	deliver(s, 3, requestMsg{TS: ts(6, 3)}) // queued; transfer names (6,3)
+	deliver(s, 4, requestMsg{TS: ts(7, 4)}) // queued behind it
+	// (6,3) withdraws: its site's membership swap dropped arbiter 1.
+	deliver(s, 3, releaseMsg{ReqTS: ts(6, 3), Withdraw: true})
+	// The holder's forwarding release still names (6,3): the transfer was
+	// issued before the withdrawal. The lock must NOT re-point at (6,3).
+	out := deliver(s, 2, releaseMsg{ReqTS: ts(5, 2), Fwd: 3, FwdTS: ts(6, 3)})
+	if s.lock == ts(6, 3) {
+		t.Fatal("lock re-pointed at a withdrawn request")
+	}
+	if s.lock != ts(7, 4) {
+		t.Fatalf("lock = %v, want the next waiter (7,4)", s.lock)
+	}
+	replies := sent(out, mutex.KindReply)
+	if len(replies) != 1 || replies[0].To != 4 {
+		t.Fatalf("grant after degraded forwarding release = %v", replies)
+	}
+
+	// Same race with an empty queue behind the withdrawn request: the lock
+	// must simply free.
+	s2 := mkSite(1)
+	deliver(s2, 2, requestMsg{TS: ts(5, 2)})
+	deliver(s2, 3, requestMsg{TS: ts(6, 3)})
+	deliver(s2, 3, releaseMsg{ReqTS: ts(6, 3), Withdraw: true})
+	deliver(s2, 2, releaseMsg{ReqTS: ts(5, 2), Fwd: 3, FwdTS: ts(6, 3)})
+	if !s2.lock.IsMax() {
+		t.Fatalf("lock = %v, want unlocked", s2.lock)
+	}
+}
+
 func TestRequestFromAnnouncedFailedSiteDropped(t *testing.T) {
 	s := mkSite(1, 2)
 	s.SiteFailed(5)

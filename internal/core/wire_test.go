@@ -169,12 +169,19 @@ func FuzzCodecDifferential(f *testing.F) {
 			codecs = codecs[:1]
 		}
 		for _, c := range codecs {
+			want := env
+			if c.Name() == wire.Gob().Name() {
+				// The v0 gob frame is frozen for pre-handshake compatibility
+				// and predates membership stages, so it drops Epoch; only the
+				// v1 binary frame carries it.
+				want.Epoch = 0
+			}
 			got, err := wire.RoundTrip(c, env)
 			if err != nil {
 				t.Fatalf("%s: re-encode of decoded envelope failed: %v", c.Name(), err)
 			}
-			if !reflect.DeepEqual(got, env) {
-				t.Errorf("%s: round-trip = %+v, want %+v", c.Name(), got, env)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: round-trip = %+v, want %+v", c.Name(), got, want)
 			}
 		}
 	})

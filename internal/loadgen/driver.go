@@ -47,6 +47,10 @@ func wireCodecName(name string) (string, error) {
 // touches the driver.
 type driver interface {
 	lock(site int, name string) (*dqmx.Lock, error)
+	// reconfigure switches the live fabric to n sites via the joint-quorum
+	// handover and returns the resulting epoch. Only the in-process driver
+	// supports it; config validation rejects the others up front.
+	reconfigure(ctx context.Context, n int) (epoch uint64, err error)
 	close()
 }
 
@@ -108,6 +112,13 @@ func (d *inprocDriver) lock(site int, name string) (*dqmx.Lock, error) {
 	return d.cluster.LockOn(dqmx.SiteID(site), name)
 }
 
+func (d *inprocDriver) reconfigure(ctx context.Context, n int) (uint64, error) {
+	if err := d.cluster.Reconfigure(ctx, dqmx.Membership{N: n}); err != nil {
+		return 0, err
+	}
+	return d.cluster.Epoch(), nil
+}
+
 func (d *inprocDriver) close() { d.cluster.Close() }
 
 // tcpDriver hosts all N sites as TCP peers on loopback. Addresses are
@@ -157,6 +168,10 @@ func (d *tcpDriver) lock(site int, name string) (*dqmx.Lock, error) {
 		return nil, fmt.Errorf("loadgen: site %d out of range", site)
 	}
 	return d.peers[site].Lock(name)
+}
+
+func (d *tcpDriver) reconfigure(ctx context.Context, n int) (uint64, error) {
+	return 0, fmt.Errorf("loadgen: the TCP driver does not reconfigure itself (operator-driven; see dqmx.PlanHandover)")
 }
 
 func (d *tcpDriver) close() {
@@ -243,6 +258,10 @@ func (d *serviceDriver) lock(client int, name string) (*dqmx.Lock, error) {
 		return nil, fmt.Errorf("loadgen: client %d out of range", client)
 	}
 	return d.sessions[client].Lock(name)
+}
+
+func (d *serviceDriver) reconfigure(ctx context.Context, n int) (uint64, error) {
+	return 0, fmt.Errorf("loadgen: the service driver does not reconfigure its coterie")
 }
 
 func (d *serviceDriver) close() {

@@ -152,6 +152,14 @@ type Config struct {
 	// plan (the TCP driver rejects it). HopDelay, when also set, overrides
 	// the plan's delay bounds.
 	Chaos *ChaosPlanConfig
+	// Reconfigure, when positive, grows the cluster to this many sites via
+	// the joint-quorum handover (internal/membership) one third of the way
+	// into the measure window, keeping the load running across the epoch
+	// switch. The report then splits acquire latency into before/during/
+	// after the switch and records the switch duration. In-process driver
+	// only (a TCP switch is operator-driven), and the target must exceed N —
+	// the workers stay bound to the original sites.
+	Reconfigure int
 	// Seed drives every generator decision; equal seeds replay the same
 	// key and think/interarrival sequences.
 	Seed int64
@@ -240,6 +248,15 @@ func (c Config) withDefaults() (Config, error) {
 	case DriverInproc:
 		if c.Codec != "" {
 			return c, fmt.Errorf("loadgen: wire codecs apply to the TCP driver only, got %q", c.Codec)
+		}
+	}
+	if c.Reconfigure != 0 {
+		if c.Driver != DriverInproc {
+			return c, fmt.Errorf("loadgen: mid-load reconfiguration applies to the in-process driver only")
+		}
+		if c.Reconfigure <= c.N {
+			return c, fmt.Errorf("loadgen: Reconfigure must grow the cluster (target %d, current %d)",
+				c.Reconfigure, c.N)
 		}
 	}
 	switch c.Driver {

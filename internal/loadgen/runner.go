@@ -62,6 +62,18 @@ type Report struct {
 	MessagesPerCS float64           `json:"messages_per_cs"`
 	ByKind        map[string]uint64 `json:"by_kind,omitempty"`
 	Retransmits   uint64            `json:"retransmits"`
+
+	// Mid-load reconfiguration (Config.Reconfigure): the target size, the
+	// epoch after the switch, how long the joint-quorum handover took, and
+	// the acquire latency split by when the operation completed relative to
+	// the switch — the "p99 across the epoch switch" claim lives in
+	// AcquireDuring/AcquireAfter versus AcquireBefore.
+	ReconfigureN  int             `json:"reconfigure_n,omitempty"`
+	EpochAfter    uint64          `json:"epoch_after,omitempty"`
+	SwitchMS      float64         `json:"switch_ms,omitempty"`
+	AcquireBefore *obs.DelayStats `json:"acquire_before_ns,omitempty"`
+	AcquireDuring *obs.DelayStats `json:"acquire_during_ns,omitempty"`
+	AcquireAfter  *obs.DelayStats `json:"acquire_after_ns,omitempty"`
 }
 
 // phase values for the run controller.
@@ -72,10 +84,13 @@ const (
 )
 
 // recorder is one worker's private sample store; merged after the workers
-// stop, so the hot path takes no locks.
+// stop, so the hot path takes no locks. The phases histograms split samples
+// around a mid-load reconfiguration (before/during/after the switch) and
+// stay empty otherwise.
 type recorder struct {
-	hist obs.Histogram
-	ops  uint64
+	hist   obs.Histogram
+	phases [3]obs.Histogram
+	ops    uint64
 }
 
 // arrival is one open-loop operation: when it was scheduled and for which
@@ -125,13 +140,22 @@ func Run(cfg Config) (*Report, error) {
 	recs := make([]recorder, cfg.Workers)
 	var wg sync.WaitGroup
 
+	// switchPhase tracks a mid-load reconfiguration: 0 before the switch
+	// starts, 1 while the handover runs, 2 once it completes. Samples are
+	// classified by when the acquire finished — an acquire completing during
+	// the switch experienced it.
+	var switchPhase atomic.Int32
 	runOp := func(ctx context.Context, w int, key int, start time.Time) {
 		h := handles[w][key]
 		if err := h.Acquire(ctx); err != nil {
 			return // cancelled during drain
 		}
 		if phase.Load() == phaseMeasure {
-			recs[w].hist.Add(time.Since(start).Nanoseconds())
+			lat := time.Since(start).Nanoseconds()
+			recs[w].hist.Add(lat)
+			if cfg.Reconfigure > 0 {
+				recs[w].phases[switchPhase.Load()].Add(lat)
+			}
 			recs[w].ops++
 		}
 		if cfg.Hold > 0 {
@@ -201,13 +225,39 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Warmup → open the measurement window → measure → close it.
+	// Warmup → open the measurement window → measure → close it. A mid-load
+	// reconfiguration fires a third of the way in, so the window sees steady
+	// state on both sides of the epoch switch.
 	time.Sleep(cfg.Warmup)
 	before := metrics.Snapshot()
 	tracker.StartRecording()
 	phase.Store(phaseMeasure)
 	t0 := time.Now()
-	time.Sleep(cfg.Measure)
+	var (
+		switchDur  time.Duration
+		epochAfter uint64
+	)
+	if cfg.Reconfigure > 0 {
+		time.Sleep(cfg.Measure / 3)
+		switchPhase.Store(1)
+		rctx, rcancel := context.WithTimeout(ctx, cfg.Measure+cfg.Drain)
+		s0 := time.Now()
+		epochAfter, err = drv.reconfigure(rctx, cfg.Reconfigure)
+		switchDur = time.Since(s0)
+		rcancel()
+		if err != nil {
+			close(stop)
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("loadgen: reconfigure to %d sites: %w", cfg.Reconfigure, err)
+		}
+		switchPhase.Store(2)
+		if rest := cfg.Measure - cfg.Measure/3 - switchDur; rest > 0 {
+			time.Sleep(rest)
+		}
+	} else {
+		time.Sleep(cfg.Measure)
+	}
 	measured := time.Since(t0)
 	phase.Store(phaseDrain)
 	tracker.StopRecording()
@@ -226,9 +276,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	var acquire obs.Histogram
+	var phased [3]obs.Histogram
 	var ops uint64
 	for w := range recs {
 		acquire.Merge(&recs[w].hist)
+		for p := range phased {
+			phased[p].Merge(&recs[w].phases[p])
+		}
 		ops += recs[w].ops
 	}
 	exits := after.Exits - before.Exits
@@ -262,6 +316,18 @@ func Run(cfg Config) (*Report, error) {
 		Messages:   messages,
 		Retransmits: after.Transport.Retransmits -
 			before.Transport.Retransmits,
+	}
+	if cfg.Reconfigure > 0 {
+		rep.ReconfigureN = cfg.Reconfigure
+		rep.EpochAfter = epochAfter
+		rep.SwitchMS = ms(switchDur)
+		stats := func(h *obs.Histogram) *obs.DelayStats {
+			s := h.Stats()
+			return &s
+		}
+		rep.AcquireBefore = stats(&phased[0])
+		rep.AcquireDuring = stats(&phased[1])
+		rep.AcquireAfter = stats(&phased[2])
 	}
 	if exits > 0 {
 		rep.MessagesPerCS = float64(messages) / float64(exits)

@@ -172,6 +172,70 @@ func TestServiceScaling(t *testing.T) {
 	}
 }
 
+// TestReconfigureMidLoad is the online-membership benchmark smoke: a
+// majority-5 cluster under saturated closed-loop load grows to 7 sites a
+// third of the way into the measure window. The run must complete the
+// switch, keep serving acquires on both sides of it, and report the
+// split latency stats (p99 across the epoch switch) that land in the
+// BENCH_live artifact.
+func TestReconfigureMidLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmark smoke; skipped in -short")
+	}
+	rep, err := Run(Config{
+		Driver:      DriverInproc,
+		N:           5,
+		Quorum:      "majority",
+		Reconfigure: 7,
+		Hold:        200 * time.Microsecond,
+		Warmup:      150 * time.Millisecond,
+		Measure:     1200 * time.Millisecond,
+		Seed:        19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Throughput <= 0 {
+		t.Fatalf("run did no work: %+v", rep)
+	}
+	if rep.ReconfigureN != 7 || rep.EpochAfter != 1 {
+		t.Fatalf("switch not recorded: target=%d epoch=%d", rep.ReconfigureN, rep.EpochAfter)
+	}
+	if rep.SwitchMS <= 0 {
+		t.Fatalf("switch duration not recorded: %+v", rep)
+	}
+	if rep.AcquireBefore == nil || rep.AcquireAfter == nil || rep.AcquireDuring == nil {
+		t.Fatalf("split acquire stats missing: %+v", rep)
+	}
+	if rep.AcquireBefore.Count == 0 || rep.AcquireAfter.Count == 0 {
+		t.Fatalf("no load on a side of the switch: before=%d after=%d",
+			rep.AcquireBefore.Count, rep.AcquireAfter.Count)
+	}
+	if rep.AcquireBefore.P99 <= 0 || rep.AcquireAfter.P99 <= 0 {
+		t.Fatalf("degenerate split p99: %+v / %+v", rep.AcquireBefore, rep.AcquireAfter)
+	}
+	t.Logf("switch 5→7 in %.1fms; acquire p99 before/during/after = %v/%v/%v (%d/%d/%d samples)",
+		rep.SwitchMS,
+		time.Duration(rep.AcquireBefore.P99), time.Duration(rep.AcquireDuring.P99), time.Duration(rep.AcquireAfter.P99),
+		rep.AcquireBefore.Count, rep.AcquireDuring.Count, rep.AcquireAfter.Count)
+
+	// The artifact must carry the split stats through a round-trip.
+	dir := t.TempDir()
+	path, err := NewArtifact("reconfigure", []*Report{rep}).Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Runs[0]
+	if got.ReconfigureN != 7 || got.SwitchMS != rep.SwitchMS ||
+		got.AcquireBefore == nil || got.AcquireBefore.P99 != rep.AcquireBefore.P99 {
+		t.Fatalf("artifact round-trip lost the switch stats: %+v", got)
+	}
+}
+
 // TestBenchSmoke is the artifact-path smoke: a short deterministic sweep
 // over grid-9 and tree-7 in-process clusters, written and re-read as a
 // schema-checked BENCH_live JSON artifact with non-trivial throughput and

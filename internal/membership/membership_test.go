@@ -1,0 +1,201 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/mutex"
+)
+
+func TestStageOrdering(t *testing.T) {
+	// stable(E) < joint(E→E+1) < stable(E+1), for every E.
+	for _, e := range []Epoch{0, 1, 2, 7, 1 << 30} {
+		s, j, next := StableStage(e), JointStage(e), StableStage(e+1)
+		if !(s < j && j < next) {
+			t.Fatalf("epoch %d: stages %d, %d, %d not strictly ordered", e, s, j, next)
+		}
+		if s.Joint() || !j.Joint() {
+			t.Fatalf("epoch %d: Joint() wrong on %v / %v", e, s, j)
+		}
+		if s.Epoch() != e || j.Epoch() != e {
+			t.Fatalf("epoch %d: Epoch() gave %d / %d", e, s.Epoch(), j.Epoch())
+		}
+	}
+	if got := StableStage(3).String(); got != "stable(3)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := JointStage(3).String(); got != "joint(3→4)" {
+		t.Fatalf("String() = %q", got)
+	}
+	// The zero Stage is stable epoch 0 — what un-stamped envelopes carry.
+	var zero Stage
+	if zero.Joint() || zero.Epoch() != 0 {
+		t.Fatalf("zero stage = %v, want stable(0)", zero)
+	}
+}
+
+func TestNewConfigAndValidate(t *testing.T) {
+	cfg, err := NewConfig(2, coterie.Majority{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Epoch != 2 || cfg.N() != 5 || len(cfg.Sites) != 5 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Broken shapes must be caught before any live site is touched.
+	if err := (Config{Epoch: 1}).Validate(); err == nil {
+		t.Fatal("config without coterie validated")
+	}
+	bad := cfg
+	bad.Sites = bad.Sites[:4]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("config with short site list validated")
+	}
+	gapped := cfg
+	gapped.Sites = []mutex.SiteID{0, 1, 2, 3, 5}
+	if err := gapped.Validate(); err == nil {
+		t.Fatal("config with non-contiguous sites validated")
+	}
+}
+
+func TestPlanHandoverRejectsEpochGap(t *testing.T) {
+	old, err := NewConfig(0, coterie.Majority{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := NewConfig(2, coterie.Majority{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanHandover(old, skip); err == nil {
+		t.Fatal("handover skipping an epoch planned")
+	}
+	same, err := NewConfig(0, coterie.Majority{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanHandover(old, same); err == nil {
+		t.Fatal("handover with unchanged epoch planned")
+	}
+}
+
+// TestJointIntersectionProperty is the randomized safety check behind the
+// handover: over random (construction, size) pairs, every joint quorum must
+// intersect every old quorum, every new quorum, and every other joint
+// quorum, and must embed one full quorum of each coterie. These are exactly
+// the properties the package comment's safety argument needs.
+func TestJointIntersectionProperty(t *testing.T) {
+	cons := []coterie.Construction{coterie.Grid{}, coterie.Tree{}, coterie.Majority{}}
+	rng := rand.New(rand.NewSource(991))
+	trials := 0
+	for trials < 60 {
+		oldC, newC := cons[rng.Intn(len(cons))], cons[rng.Intn(len(cons))]
+		oldN, newN := 2+rng.Intn(11), 2+rng.Intn(11)
+		old, err := NewConfig(0, oldC, oldN)
+		if err != nil {
+			continue // construction rejects this n; pick again
+		}
+		next, err := NewConfig(1, newC, newN)
+		if err != nil {
+			continue
+		}
+		trials++
+		h, err := PlanHandover(old, next)
+		if err != nil {
+			t.Fatalf("%s(%d)→%s(%d): %v", oldC.Name(), oldN, newC.Name(), newN, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%s(%d)→%s(%d): %v", oldC.Name(), oldN, newC.Name(), newN, err)
+		}
+		if h.JointN() != max(oldN, newN) {
+			t.Fatalf("%s(%d)→%s(%d): joint over %d sites", oldC.Name(), oldN, newC.Name(), newN, h.JointN())
+		}
+		for i := 0; i < h.JointN(); i++ {
+			jq := h.JointQuorum(mutex.SiteID(i))
+			// Embedding: the joint req_set contains one full quorum of each
+			// coterie — a strictly stronger fact than pairwise intersection.
+			oq := old.Coterie.Quorum(foldSite(mutex.SiteID(i), oldN))
+			nq := next.Coterie.Quorum(foldSite(mutex.SiteID(i), newN))
+			if !oq.SubsetOf(jq) {
+				t.Fatalf("%s(%d)→%s(%d): joint quorum of %d %v lacks old quorum %v",
+					oldC.Name(), oldN, newC.Name(), newN, i, jq, oq)
+			}
+			if !nq.SubsetOf(jq) {
+				t.Fatalf("%s(%d)→%s(%d): joint quorum of %d %v lacks new quorum %v",
+					oldC.Name(), oldN, newC.Name(), newN, i, jq, nq)
+			}
+			// Pairwise joint-joint intersection (Validate covers joint-old
+			// and joint-new).
+			for k := 0; k < i; k++ {
+				if !jq.Intersects(h.JointQuorum(mutex.SiteID(k))) {
+					t.Fatalf("%s(%d)→%s(%d): joint quorums of %d and %d disjoint",
+						oldC.Name(), oldN, newC.Name(), newN, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestJointAvoiding: a crash mid-handover rebuilds joint req_sets that skip
+// the dead site yet still intersect both coteries' surviving quorums.
+func TestJointAvoiding(t *testing.T) {
+	old, err := NewConfig(0, coterie.Majority{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := NewConfig(1, coterie.Majority{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := PlanHandover(old, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No constructions recorded: recovery must refuse rather than guess.
+	if _, err := h.JointAvoiding(0, map[mutex.SiteID]bool{1: true}); err == nil {
+		t.Fatal("JointAvoiding without constructions succeeded")
+	}
+
+	h.OldCons, h.NewCons = coterie.Majority{}, coterie.Majority{}
+	down := map[mutex.SiteID]bool{2: true}
+	for i := 0; i < h.JointN(); i++ {
+		q, err := h.JointAvoiding(mutex.SiteID(i), down)
+		if err != nil {
+			t.Fatalf("site %d: %v", i, err)
+		}
+		if q.Contains(2) {
+			t.Fatalf("site %d: rebuilt quorum %v contains the dead site", i, q)
+		}
+		// The rebuilt quorum must intersect every quorum either coterie can
+		// still grant — the §6 guarantee, extended across the handover.
+		for o, oq := range old.Coterie.Quorums {
+			if !q.Intersects(oq) {
+				t.Fatalf("site %d: rebuilt %v misses old quorum of %d %v", i, q, o, oq)
+			}
+		}
+		for n, nq := range next.Coterie.Quorums {
+			if !q.Intersects(nq) {
+				t.Fatalf("site %d: rebuilt %v misses new quorum of %d %v", i, q, n, nq)
+			}
+		}
+	}
+
+	// Majority of 5 tolerates two crashes, not three.
+	heavy := map[mutex.SiteID]bool{0: true, 1: true, 2: true}
+	if _, err := h.JointAvoiding(4, heavy); err == nil {
+		t.Fatal("JointAvoiding with a dead old-majority succeeded")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -14,7 +14,11 @@
 //     messages are lost, later messages addressed to it are dropped, and every
 //     survivor receives a §6 failure notification on its own detector channel,
 //     so notifications interleave freely with protocol traffic and with each
-//     other — exactly the races the recovery protocol must survive.
+//     other — exactly the races the recovery protocol must survive;
+//   - with Config.Handover, step one site through the joint-quorum membership
+//     switch (internal/membership): apply-joint at any point, apply-final once
+//     the settle barrier holds — so the safety invariant is proven across
+//     every interleaving of the epoch switch with protocol traffic.
 //
 // States are deduplicated by a canonical serialization (Site.CanonicalState
 // plus the explorer's own bookkeeping), so the search covers the full state
@@ -36,6 +40,7 @@ import (
 	"strings"
 
 	"dqmx/internal/coterie"
+	"dqmx/internal/membership"
 	"dqmx/internal/mutex"
 )
 
@@ -117,6 +122,21 @@ type Config struct {
 	// become part of the canonical state, so runs that differ only in cost
 	// are explored separately — the state space grows accordingly.
 	Bound *Bound
+	// Handover, when non-nil, overlays an online membership switch
+	// (internal/membership) on the exploration. N must equal
+	// Handover.JointN(); sites present in the old configuration start on
+	// their old req_sets, joining sites are born joint (mirroring the live
+	// path, where grow() precedes the joint sweep). Two extra per-site
+	// choices drive the switch: apply-joint installs a site's joint req_set
+	// at any point, and apply-final — gated on every live site being joint
+	// with its swap settled, the live settle barrier — installs the new
+	// configuration's req_set on sites it retains. Departing sites keep
+	// their joint req_sets, as the live drain does. The applies count as
+	// protocol choices, so terminal states exist only after the switch
+	// completes and the deadlock invariant asserts post-switch liveness.
+	// Bound must be nil: handover traffic (withdrawals, joint requests)
+	// legitimately exceeds the paper's fault-free envelope.
+	Handover *membership.Handover
 }
 
 // ErrStateBudget reports that the state space outgrew Config.MaxStates.
@@ -165,6 +185,20 @@ type State struct {
 	// the chaos checker's timestamp-order rule. Maintained by the explorer,
 	// consulted by the order invariant, part of the canonical state.
 	settled []bool
+
+	// Handover bookkeeping (nil without Config.Handover): h is the shared
+	// immutable plan, member[i] is site i's progress through it — 0 on the
+	// old req_set, 1 joint, 2 final. withdrawn[i] marks site i's current
+	// request wave as withdrawn (a release sent while still waiting — a
+	// membership swap pulling the request from departing arbiters): the
+	// freed arbiter may grant anyone, so the wave never counts as settled
+	// again; the flag clears when the site issues its next request. It
+	// mirrors the chaos checker's withdrawn flag and is only tracked in
+	// handover runs — elsewhere withdrawals only happen on §6 recovery,
+	// where the order invariant is exempt anyway.
+	h         *membership.Handover
+	member    []uint8
+	withdrawn []bool
 
 	// Transition transients (not part of the canonical state): the site that
 	// entered the CS during the last applied action, and the pair of holders
@@ -253,6 +287,17 @@ func newExplorer(cfg Config) (*explorer, error) {
 	if cfg.Bound != nil {
 		ex.invariants = append(append([]Invariant(nil), ex.invariants...), BoundInvariant(*cfg.Bound))
 	}
+	if h := cfg.Handover; h != nil {
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.N != h.JointN() {
+			return nil, fmt.Errorf("modelcheck: Config.N = %d but the handover spans %d sites", cfg.N, h.JointN())
+		}
+		if cfg.Bound != nil {
+			return nil, errors.New("modelcheck: Bound cannot be asserted across a handover")
+		}
+	}
 	return ex, nil
 }
 
@@ -296,7 +341,64 @@ func (ex *explorer) initial() (*State, error) {
 			st.reqs[i] = ex.cfg.PerSite
 		}
 	}
+	if h := ex.cfg.Handover; h != nil {
+		st.h = h
+		st.member = make([]uint8, len(raw))
+		st.withdrawn = make([]bool, len(raw))
+		oldN := h.Old.N()
+		for i := range st.sites {
+			id := mutex.SiteID(i)
+			rec, ok := st.sites[i].(mutex.Reconfigurable)
+			if !ok {
+				return nil, fmt.Errorf("modelcheck: site %d (%T) is not reconfigurable", i, st.sites[i])
+			}
+			if i < oldN {
+				// An original member starts on its pure old-epoch req_set.
+				st.route(id, rec.SetMembership(h.JointN(),
+					[]mutex.SiteID(h.Old.Coterie.Quorum(id)),
+					stableAvoid(h.OldCons, oldN, id),
+					uint64(membership.StableStage(h.Old.Epoch))))
+			} else {
+				// A joiner is born joint: the live grow() wires it before the
+				// joint sweep, so it never runs a pure old- or new-epoch quorum.
+				st.route(id, rec.SetMembership(h.JointN(),
+					[]mutex.SiteID(h.JointQuorum(id)),
+					jointAvoid(h, id),
+					uint64(membership.JointStage(h.Old.Epoch))))
+				st.member[i] = 1
+			}
+		}
+	}
 	return st, nil
+}
+
+// stableAvoid adapts a construction's §6 QuorumAvoiding for a stable phase
+// of a handover run to the Reconfigurable hook shape; nil cons means no
+// recovery (the site keeps its quorum on a crash — safety over progress).
+func stableAvoid(cons coterie.Construction, n int, id mutex.SiteID) func(map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+	if cons == nil {
+		return nil
+	}
+	return func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+		q, err := cons.QuorumAvoiding(n, id, down)
+		if err != nil {
+			return nil, false
+		}
+		return q, true
+	}
+}
+
+// jointAvoid adapts Handover.JointAvoiding the same way: a crash during the
+// joint phase must rebuild onto a req_set that still embeds a quorum of each
+// coterie.
+func jointAvoid(h *membership.Handover, id mutex.SiteID) func(map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+	return func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+		q, err := h.JointAvoiding(id, down)
+		if err != nil {
+			return nil, false
+		}
+		return q, true
+	}
 }
 
 // clone deep-copies a state. Crashed sites' machines are shared: they never
@@ -312,6 +414,9 @@ func (st *State) clone() *State {
 		sends:       st.sends,
 		exits:       st.exits,
 		settled:     append([]bool(nil), st.settled...),
+		h:           st.h,
+		member:      append([]uint8(nil), st.member...),
+		withdrawn:   append([]bool(nil), st.withdrawn...),
 		entered:     -1,
 	}
 	for i, s := range st.sites {
@@ -341,6 +446,15 @@ func (st *State) route(origin mutex.SiteID, out mutex.Output) {
 		if env.From >= 0 && env.Msg.Kind() == mutex.KindRequest {
 			// A (re)opened request wave: the sender's settled-before facts
 			// lapse, mirroring the chaos checker resetting its settle point.
+			st.clearSettledRow(env.From)
+		}
+		if st.withdrawn != nil && env.From >= 0 && env.Msg.Kind() == mutex.KindRelease && st.sites[env.From].Pending() {
+			// A release sent while still waiting is a withdrawal: the freed
+			// arbiter may grant anyone, so the sender's order guarantee is
+			// void for this wave. Sticky (not just a row clear) because a swap
+			// onto a subset of the current req_set re-sends nothing, so the
+			// wave would otherwise read as settled again at the next request.
+			st.withdrawn[env.From] = true
 			st.clearSettledRow(env.From)
 		}
 		if env.To == env.From {
@@ -387,9 +501,13 @@ func (st *State) clearSettledCol(i mutex.SiteID) {
 }
 
 // waveSettled reports whether site j's current request wave has been fully
-// delivered: j is waiting and no request envelope from j is in flight.
+// delivered: j is waiting, the wave was not withdrawn from any arbiter, and
+// no request envelope from j is in flight.
 func (st *State) waveSettled(j mutex.SiteID) bool {
 	if !st.sites[j].Pending() {
+		return false
+	}
+	if st.withdrawn != nil && st.withdrawn[j] {
 		return false
 	}
 	for k, q := range st.chans {
@@ -449,6 +567,9 @@ func (st *State) apply(a Action) (string, error) {
 			return "", fmt.Errorf("modelcheck: %v: no request budget", a)
 		}
 		st.reqs[i]--
+		if st.withdrawn != nil {
+			st.withdrawn[i] = false // a fresh wave starts unwithdrawn
+		}
 		st.clearSettledRow(i)
 		st.clearSettledCol(i)
 		st.route(i, st.sites[i].Request())
@@ -502,6 +623,28 @@ func (st *State) apply(a Action) (string, error) {
 			})
 		}
 		return "", nil
+	case ActApplyJoint:
+		i := a.Site
+		if st.member == nil || st.crashed[i] || st.member[i] != 0 {
+			return "", fmt.Errorf("modelcheck: %v: not applicable", a)
+		}
+		st.member[i] = 1
+		st.route(i, st.sites[i].(mutex.Reconfigurable).SetMembership(st.h.JointN(),
+			[]mutex.SiteID(st.h.JointQuorum(i)),
+			jointAvoid(st.h, i),
+			uint64(membership.JointStage(st.h.Old.Epoch))))
+		return "", nil
+	case ActApplyFinal:
+		i := a.Site
+		if st.member == nil || st.crashed[i] || st.member[i] != 1 || int(i) >= st.h.New.N() {
+			return "", fmt.Errorf("modelcheck: %v: not applicable", a)
+		}
+		st.member[i] = 2
+		st.route(i, st.sites[i].(mutex.Reconfigurable).SetMembership(st.h.New.N(),
+			[]mutex.SiteID(st.h.New.Coterie.Quorum(i)),
+			stableAvoid(st.h.NewCons, st.h.New.N(), i),
+			uint64(membership.StableStage(st.h.New.Epoch))))
+		return "", nil
 	default:
 		return "", fmt.Errorf("modelcheck: unknown action %v", a)
 	}
@@ -540,6 +683,34 @@ func (ex *explorer) enabled(st *State) (core, crash []Action) {
 			core = append(core, Action{Kind: ActDrop, From: k.from, To: k.to})
 		}
 	}
+	if st.member != nil {
+		// The handover's sweep steps. Joint applies interleave freely; final
+		// applies wait for the settle barrier — every live site joint, no
+		// swap still deferred behind a held CS — exactly the live
+		// awaitSettled gate. They are core choices: a run is not terminal
+		// until the switch has completed on every live site.
+		barrier := true
+		for i := range st.sites {
+			if st.crashed[i] {
+				continue
+			}
+			if st.member[i] == 0 || !st.sites[i].(mutex.Reconfigurable).MembershipSettled() {
+				barrier = false
+				break
+			}
+		}
+		for i := range st.sites {
+			if st.crashed[i] {
+				continue
+			}
+			switch {
+			case st.member[i] == 0:
+				core = append(core, Action{Kind: ActApplyJoint, Site: mutex.SiteID(i)})
+			case st.member[i] == 1 && barrier && i < st.h.New.N():
+				core = append(core, Action{Kind: ActApplyFinal, Site: mutex.SiteID(i)})
+			}
+		}
+	}
 	if st.crashesLeft > 0 && st.workRemains() {
 		for v := range st.sites {
 			if ex.crashable[v] && !st.crashed[v] {
@@ -570,6 +741,9 @@ func (st *State) canonical(counters bool) string {
 	fmt.Fprintf(&b, "cs=%d reqs=%v left=%d|", st.inCS, st.reqs, st.crashesLeft)
 	if counters {
 		fmt.Fprintf(&b, "m=%d/%d|", st.sends, st.exits)
+	}
+	if st.member != nil {
+		fmt.Fprintf(&b, "hs=%v wd=%v|", st.member, st.withdrawn)
 	}
 	var bits uint64
 	for i, s := range st.settled {

@@ -26,6 +26,13 @@ const (
 	// some prefix and loses the suffix — the explorer branches over every cut
 	// point by interleaving deliveries with one final drop.
 	ActDrop
+	// ActApplyJoint installs the handover's joint req_set on Site — one step
+	// of the joint sweep, interleaving freely with protocol traffic (only in
+	// Config.Handover runs).
+	ActApplyJoint
+	// ActApplyFinal installs the new configuration's req_set on Site. Gated
+	// on the settle barrier: every live site must be joint and settled first.
+	ActApplyFinal
 )
 
 // Action is one choice of a run: a counterexample trace is the exact
@@ -48,6 +55,10 @@ func (a Action) String() string {
 		return fmt.Sprintf("crash %d", a.Site)
 	case ActDrop:
 		return fmt.Sprintf("drop %d>%d", a.From, a.To)
+	case ActApplyJoint:
+		return fmt.Sprintf("apply-joint %d", a.Site)
+	case ActApplyFinal:
+		return fmt.Sprintf("apply-final %d", a.Site)
 	default:
 		return fmt.Sprintf("action(%d)", a.Kind)
 	}
@@ -85,6 +96,9 @@ func (v *Violation) String() string {
 func dumpState(st *State) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  holder=%d crashesLeft=%d sends=%d exits=%d\n", st.inCS, st.crashesLeft, st.sends, st.exits)
+	if st.member != nil {
+		fmt.Fprintf(&b, "  handover: member=%v withdrawn=%v\n", st.member, st.withdrawn)
+	}
 	for i, s := range st.sites {
 		mark := " "
 		if st.crashed[i] {

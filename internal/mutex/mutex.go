@@ -42,6 +42,15 @@ type Message interface {
 // the cumulative acknowledgement piggybacked for the reverse stream. State
 // machines never read or set either field; the zero values keep the gob
 // wire format byte-compatible with pre-reliability peers.
+//
+// Epoch is the sender's membership stage (internal/membership.Stage): 0
+// until a cluster has ever reconfigured, then the totally ordered stamp of
+// the sender's current configuration. Like Resource/Seq/Ack it is
+// transport metadata — stamped by the per-resource sender, read by
+// transports to detect laggards (a frame stamped below the receiver's
+// stage is answered with the current configuration) — and never touched by
+// the state machines. The zero value keeps gob streams from pre-epoch
+// peers decodable.
 type Envelope struct {
 	Resource string
 	From     SiteID
@@ -49,6 +58,7 @@ type Envelope struct {
 	Msg      Message
 	Seq      uint64
 	Ack      uint64
+	Epoch    uint64
 }
 
 // Output collects the externally visible effects of one state-machine step.
@@ -110,6 +120,28 @@ type TimestampedSite interface {
 type FailureObserver interface {
 	// SiteFailed reacts to the announced crash of site f.
 	SiteFailed(f SiteID) Output
+}
+
+// Reconfigurable is implemented by sites that support online membership
+// change (internal/membership). Drivers move a site between configurations
+// by replacing its req_set in place; the site reconciles any in-flight
+// request against the new quorum exactly as §6 recovery reconciles around
+// a crash — withdrawing from arbiters that left, requesting from arbiters
+// that joined, and deferring the swap until Exit while inside the CS.
+type Reconfigurable interface {
+	// SetMembership installs a new system size and req_set. quorum must be
+	// sorted and duplicate-free. avoiding, when non-nil, replaces the
+	// construction's §6 QuorumAvoiding for as long as this membership is in
+	// force: it returns a substitute req_set avoiding the given crashed
+	// sites, or false when none exists (the site then keeps its quorum and
+	// blocks — safety over progress). stage tags the membership for state
+	// canonicalization; drivers pass the membership.Stage being applied.
+	SetMembership(n int, quorum []SiteID, avoiding func(down map[SiteID]bool) ([]SiteID, bool), stage uint64) Output
+	// MembershipSettled reports whether the site's effective req_set is the
+	// one most recently installed — false while a swap is deferred behind a
+	// critical section still held under the previous quorum. The settle
+	// barrier between handover phases polls it.
+	MembershipSettled() bool
 }
 
 // Algorithm constructs the complete set of site state machines for a run.

@@ -49,6 +49,11 @@ type SessionStats struct {
 	// each reclaim hands the grant to the next waiter through the normal
 	// protocol path.
 	LocksReclaimed uint64
+	// Overloaded counts work the arbiter refused for backpressure: session
+	// opens past the session cap and acquires past the per-session
+	// in-flight cap. Clients back off and retry, so a nonzero rate here
+	// means sustained demand above what the arbiter is provisioned for.
+	Overloaded uint64
 }
 
 // Snapshot is a point-in-time copy of the aggregated metrics.
@@ -200,6 +205,9 @@ func (m *Metrics) Observe(e Event) {
 		return
 	case EventLockReclaim:
 		m.sessions.LocksReclaimed++
+		return
+	case EventOverload:
+		m.sessions.Overloaded++
 		return
 	}
 	a, ok := m.res[e.Resource]

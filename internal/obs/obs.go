@@ -70,6 +70,10 @@ const (
 	// expired session (Resource names the lock), feeding the grant back
 	// into the quorum protocol for the next waiter. Service-level.
 	EventLockReclaim
+	// EventOverload marks the arbiter refusing work for backpressure: a new
+	// session past the session cap or an acquire past the per-session
+	// in-flight cap. The client backs off and retries. Service-level.
+	EventOverload
 )
 
 // String returns the event type's stable name.
@@ -101,6 +105,8 @@ func (t EventType) String() string {
 		return "session-close"
 	case EventLockReclaim:
 		return "lock-reclaim"
+	case EventOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

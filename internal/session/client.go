@@ -22,6 +22,12 @@ var (
 	ErrSessionLost = errors.New("session: session lost (no arbiter reachable within the failover window)")
 	// ErrClientClosed is returned by operations after Close or Abandon.
 	ErrClientClosed = errors.New("session: client closed")
+	// ErrOverloaded means the arbiter refused work for backpressure (its
+	// session or in-flight acquire cap is full). Acquire retries with
+	// exponential backoff on its own; the error surfaces only when the
+	// caller's context runs out first, or from Dial when every arbiter in
+	// the chain is saturated.
+	ErrOverloaded = errors.New("session: arbiter overloaded")
 )
 
 // Client defaults.
@@ -53,6 +59,17 @@ type ClientConfig struct {
 	FailoverWindow time.Duration
 	// Policy bounds lock names client-side, mirroring the arbiter's.
 	Policy resource.Policy
+	// SafetyMargin arms the lease-safety watchdog: while any lock is held
+	// and the conservative lease deadline (see LeaseDeadline) is closer
+	// than this margin, OnLeaseWarning fires. Work holding a lock that
+	// close to expiry risks the arbiter reclaiming it mid-flight. Zero
+	// disables the watchdog.
+	SafetyMargin time.Duration
+	// OnLeaseWarning receives lease-safety warnings: the conservative lease
+	// deadline and the time remaining until it (non-positive when already
+	// past). Called from the client's keepalive goroutine, at most once per
+	// keepalive interval; it must not block.
+	OnLeaseWarning func(deadline time.Time, remaining time.Duration)
 }
 
 // result carries one routed lock reply. retry means the reply will never
@@ -384,6 +401,11 @@ func (c *Client) dialOne(addr string) (sc *sessionConn, grant grantMsg, helloSen
 	}
 	if grant.Err != "" {
 		sc.close()
+		if grant.Err == errOverloadedText {
+			// Typed, so a Dial that exhausts its window against saturated
+			// arbiters reports overload rather than a generic dial failure.
+			return nil, grantMsg{}, time.Time{}, fmt.Errorf("session: arbiter rejected hello: %w", ErrOverloaded)
+		}
 		return nil, grantMsg{}, time.Time{}, fmt.Errorf("session: arbiter rejected hello: %s", grant.Err)
 	}
 	sc.c.SetReadDeadline(time.Time{})
@@ -545,6 +567,7 @@ func (c *Client) keepaliveLoop(sc *sessionConn, stop chan struct{}) {
 			sc.kill()
 			return
 		}
+		c.checkLeaseMargin()
 		c.mu.Lock()
 		c.kaSent = append(c.kaSent, time.Now())
 		c.mu.Unlock()
@@ -554,6 +577,37 @@ func (c *Client) keepaliveLoop(sc *sessionConn, stop chan struct{}) {
 			sc.kill()
 			return
 		}
+	}
+}
+
+// checkLeaseMargin is the lease-safety watchdog: when a lock is held this
+// session and the conservative lease deadline is closer than the configured
+// margin, the warning callback fires. The deadline bound is conservative
+// (the server's real deadline is never earlier — see LeaseDeadline), so a
+// warning can be early but never late.
+func (c *Client) checkLeaseMargin() {
+	margin, warn := c.cfg.SafetyMargin, c.cfg.OnLeaseWarning
+	if margin <= 0 || warn == nil {
+		return
+	}
+	c.mu.Lock()
+	held := false
+	for _, inst := range c.instances {
+		if inst.held && inst.heldEpoch == c.sessionEpoch {
+			held = true
+			break
+		}
+	}
+	var deadline time.Time
+	if !c.leaseBase.IsZero() && c.leaseTTL > 0 {
+		deadline = c.leaseBase.Add(c.leaseTTL)
+	}
+	c.mu.Unlock()
+	if !held || deadline.IsZero() {
+		return
+	}
+	if remaining := time.Until(deadline); remaining < margin {
+		warn(deadline, remaining)
 	}
 }
 
@@ -630,8 +684,12 @@ type clientInstance struct {
 }
 
 // Acquire forwards to the arbiter, reissuing across failovers until
-// granted, rejected, cancelled, or the client dies.
+// granted, rejected, cancelled, or the client dies. Backpressure rejections
+// (ErrOverloaded) are retried with exponential backoff — capped at half a
+// second — for as long as the caller's context allows, so transient
+// overload costs latency, not failures.
 func (ci *clientInstance) Acquire(ctx context.Context) error {
+	backoff := 5 * time.Millisecond
 	for {
 		rep, epoch, retry, err := ci.c.issue(ctx, ci.name, opAcquire)
 		if err != nil {
@@ -641,6 +699,19 @@ func (ci *clientInstance) Acquire(ctx context.Context) error {
 			continue
 		}
 		if !rep.OK {
+			if rep.Err == errOverloadedText {
+				select {
+				case <-ctx.Done():
+					return fmt.Errorf("session: acquire %q: %w: %w", ci.name, ErrOverloaded, ctx.Err())
+				case <-ci.c.stopC:
+					return ErrClientClosed
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > 500*time.Millisecond {
+					backoff = 500 * time.Millisecond
+				}
+				continue
+			}
 			return fmt.Errorf("session: acquire %q: %s", ci.name, rep.Err)
 		}
 		ci.c.mu.Lock()

@@ -41,7 +41,15 @@ const (
 	DefaultHandshakeTimeout = 5 * time.Second
 	// DefaultMaxPending is the per-session cap on in-flight acquires.
 	DefaultMaxPending = 128
+	// DefaultMaxSessions is the per-arbiter cap on concurrent sessions.
+	DefaultMaxSessions = 1024
 )
+
+// errOverloadedText is the distinguished wire string for backpressure
+// rejections. The client maps it back to the typed ErrOverloaded and backs
+// off before retrying, so transient overload degrades to added latency
+// instead of failed operations.
+const errOverloadedText = "arbiter overloaded"
 
 // ServerConfig configures one arbiter's session server.
 type ServerConfig struct {
@@ -63,6 +71,11 @@ type ServerConfig struct {
 	HandshakeTimeout time.Duration
 	// MaxPending caps concurrently in-flight acquires per session.
 	MaxPending int
+	// MaxSessions caps concurrent sessions at this arbiter
+	// (DefaultMaxSessions when zero). A hello past the cap is rejected with
+	// the overload signal; reattaches to live sessions are always admitted,
+	// so backpressure never severs an established client.
+	MaxSessions int
 	// Sink receives session lifecycle events (may be nil).
 	Sink obs.Sink
 }
@@ -79,6 +92,9 @@ type Stats struct {
 	Attaches uint64
 	// Reclaimed counts locks released on behalf of expired sessions.
 	Reclaimed uint64
+	// Overloaded counts backpressure rejections: session opens past
+	// MaxSessions plus acquires past MaxPending.
+	Overloaded uint64
 }
 
 // Server serves leased lock sessions for one arbiter site.
@@ -154,6 +170,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = DefaultMaxPending
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
 	}
 	srv := &Server{
 		cfg:      cfg,
@@ -371,6 +390,11 @@ func (srv *Server) attach(sc *sessionConn, hello helloMsg) (*serverSession, gran
 		sort.Strings(held)
 		return s, grantMsg{SessionID: s.id, TTLMillis: uint64(s.ttl / time.Millisecond), Epoch: s.epoch, Held: held}
 	}
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.stats.Overloaded++
+		srv.emitLocked(obs.EventOverload)
+		return nil, grantMsg{Err: errOverloadedText}
+	}
 	id := srv.nextID
 	srv.nextID++
 	if id == 0 {
@@ -482,8 +506,10 @@ func (srv *Server) handleLockReq(s *serverSession, sc *sessionConn, name string,
 			return
 		}
 		if len(s.pending) >= srv.cfg.MaxPending {
+			srv.stats.Overloaded++
+			srv.emitLocked(obs.EventOverload)
 			srv.mu.Unlock()
-			srv.reply(s, lockRepMsg{ReqID: req.ReqID, Err: "too many in-flight acquires"})
+			srv.reply(s, lockRepMsg{ReqID: req.ReqID, Err: errOverloadedText})
 			return
 		}
 		ctx, cancel := context.WithCancel(s.ctx)

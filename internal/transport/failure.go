@@ -71,7 +71,7 @@ func (c *Cluster) killSite(id mutex.SiteID, detectAfter time.Duration, stopC <-c
 			return
 		}
 	}
-	for j, mgr := range c.managers {
+	for j, mgr := range c.members.Load().managers {
 		if mutex.SiteID(j) == id {
 			continue
 		}
@@ -115,7 +115,7 @@ func (p *TCPPeer) StartDetector(interval, timeout time.Duration) *Detector {
 		doneC:    make(chan struct{}),
 	}
 	now := time.Now()
-	for id := range p.peers {
+	for _, id := range p.peerList() {
 		d.lastSeen[id] = now
 	}
 	p.setHeartbeatSink(d)
@@ -133,6 +133,25 @@ func (d *Detector) Stop() {
 func (d *Detector) observe(from mutex.SiteID) {
 	d.mu.Lock()
 	d.lastSeen[from] = time.Now()
+	d.mu.Unlock()
+}
+
+// track starts monitoring a (newly joined or restarted) peer with a fresh
+// grace period; a previous death declaration is forgiven so a rolling
+// restart can rejoin without waiting out the old silence.
+func (d *Detector) track(id mutex.SiteID) {
+	d.mu.Lock()
+	d.lastSeen[id] = time.Now()
+	delete(d.declared, id)
+	d.mu.Unlock()
+}
+
+// forget stops monitoring a retired peer entirely: no probes, no pending
+// timeout, no death declaration for a site nobody's req_set contains.
+func (d *Detector) forget(id mutex.SiteID) {
+	d.mu.Lock()
+	delete(d.lastSeen, id)
+	delete(d.declared, id)
 	d.mu.Unlock()
 }
 
@@ -159,10 +178,13 @@ func (d *Detector) run() {
 		case <-timer.C:
 			timer.Reset(d.jittered())
 			// Probe only peers not yet declared dead: heartbeating a corpse
-			// just churns the outbound reconnect backoff forever.
+			// just churns the outbound reconnect backoff forever. The
+			// address book is snapshotted under its own lock — membership
+			// changes (AddPeer/RemovePeer) race with this loop.
+			known := d.peer.peerList()
 			d.mu.Lock()
-			targets := make([]mutex.SiteID, 0, len(d.peer.peers))
-			for id := range d.peer.peers {
+			targets := make([]mutex.SiteID, 0, len(known))
+			for _, id := range known {
 				if !d.declared[id] {
 					targets = append(targets, id)
 				}

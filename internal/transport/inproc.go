@@ -5,9 +5,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dqmx/internal/chaos"
+	"dqmx/internal/coterie"
+	"dqmx/internal/membership"
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
 	"dqmx/internal/resource"
@@ -100,6 +103,11 @@ type ClusterConfig struct {
 	// plans merely delay the protocol instead of stalling it.
 	// In-process clusters only.
 	Chaos *chaos.Plan
+	// Construction, when non-nil, names the coterie construction behind
+	// Algorithm and enables online reconfiguration (Cluster.Reconfigure):
+	// it provides the §6 avoiding rule for the old side of a handover. It
+	// must be the same construction the algorithm assigns quorums with.
+	Construction coterie.Construction
 	// unreliable bypasses the reliable-delivery sublayer, wiring nodes
 	// straight to the mailboxes (or the chaos fabric) as before it existed.
 	// Test-only: it lets the obs-accounting equivalence test compare message
@@ -114,20 +122,40 @@ type ClusterConfig struct {
 // mailboxes. The legacy single-mutex interface — Node(id).Acquire/Release —
 // is the default resource's instance; named locks are reached through Lock.
 type Cluster struct {
-	alg      mutex.Algorithm
-	n        int
-	metrics  *obs.Metrics // nil unless metrics collection was requested
-	sink     obs.Sink     // combined metrics+observer sink
-	managers []*resource.Manager
-	nodes    []*Node // default-resource instances, cached for Node(id)
+	alg     mutex.Algorithm
+	metrics *obs.Metrics // nil unless metrics collection was requested
+	sink    obs.Sink     // combined metrics+observer sink
+
+	// members is the live site roster: sender goroutines read it lock-free
+	// on every envelope, Reconfigure swaps it copy-on-write when sites join
+	// or retire. Slot i hosts site i; a retired high slot is dropped by
+	// publishing a shorter view.
+	members atomic.Pointer[memberView]
+	sender  BatchSender // the delivery stack handed to every new node
+
+	// stage is the cluster's current membership stage (membership.Stage),
+	// stamped onto every outgoing envelope by the per-resource senders.
+	stage atomic.Uint64
 
 	rel       *reliable     // the reliable-delivery sublayer; nil only in test bypass mode
 	fabric    *chaos.Fabric // nil unless chaos injection was requested
 	chaosStop chan struct{}
 	chaosWG   sync.WaitGroup
 
+	reconfMu sync.Mutex // serializes Reconfigure end to end
+	policy   resource.Policy
+
 	mu       sync.Mutex
 	siteSets map[string][]mutex.Site // per-resource machines, built once per resource
+	cfg      membership.Config      // last stable configuration; zero Coterie = membership untracked
+	cons     coterie.Construction   // construction behind cfg (may be nil)
+	handover *membership.Handover   // non-nil while a handover is in progress
+}
+
+// memberView is one immutable snapshot of the cluster roster.
+type memberView struct {
+	managers []*resource.Manager
+	nodes    []*Node // default-resource instances, cached for Node(id)
 }
 
 // NewCluster builds and starts an in-process cluster of n sites with
@@ -149,11 +177,8 @@ func NewClusterObserved(alg mutex.Algorithm, n int, m *obs.Metrics, sink obs.Sin
 func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{
 		alg:      cfg.Algorithm,
-		n:        cfg.N,
 		metrics:  cfg.Metrics,
 		sink:     cfg.Observer,
-		managers: make([]*resource.Manager, cfg.N),
-		nodes:    make([]*Node, cfg.N),
 		siteSets: make(map[string][]mutex.Site),
 	}
 	if cfg.Metrics != nil {
@@ -166,6 +191,14 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("transport: build sites: %w", err)
 	}
 	c.siteSets[resource.Default] = defaultSites
+	// Record the epoch-0 configuration for online reconfiguration. The
+	// coterie is read off the live site machines — the ground truth of what
+	// the handover's old side must intersect — so membership tracking works
+	// for any algorithm whose sites expose their req_set.
+	if assign := assignmentOf(defaultSites); assign != nil {
+		c.cfg = membership.Config{Epoch: 0, Sites: siteIDRange(cfg.N), Coterie: assign}
+		c.cons = cfg.Construction
+	}
 	// The delivery stack, bottom-up: inprocSender injects into mailboxes;
 	// the reliable sublayer's receive side feeds it; the wire under the
 	// sublayer is either the chaos fabric or a perfect inline loopback.
@@ -192,28 +225,25 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 	case c.fabric != nil:
 		sender = c.fabric
 	}
-	for i := 0; i < cfg.N; i++ {
-		id := mutex.SiteID(i)
-		c.managers[i] = resource.NewManager(resource.Config{
-			Policy: cfg.Policy,
-			New: func(name string) (resource.Instance, error) {
-				site, err := c.siteFor(name, id)
-				if err != nil {
-					return nil, err
-				}
-				return newResourceNode(name, site, sender, c.sink), nil
-			},
-		})
+	c.sender = sender
+	view := &memberView{
+		managers: make([]*resource.Manager, cfg.N),
+		nodes:    make([]*Node, cfg.N),
 	}
+	for i := 0; i < cfg.N; i++ {
+		view.managers[i] = c.newManager(mutex.SiteID(i), cfg.Policy)
+	}
+	c.policy = cfg.Policy
+	c.members.Store(view)
 	// The default resource is eager: it validates the algorithm/coterie at
 	// construction and backs the legacy Node(id) interface.
-	for i, mgr := range c.managers {
+	for i, mgr := range view.managers {
 		inst, err := mgr.Instance(resource.Default)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.nodes[i] = inst.(*Node)
+		view.nodes[i] = inst.(*Node)
 	}
 	// Start the chaos crash scheduler only once every manager exists: a
 	// crash with a tiny After would otherwise race killSite's manager()
@@ -237,22 +267,162 @@ func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
+// newManager builds site id's resource manager: the per-site table of lazy
+// protocol instances sharing the cluster's delivery stack.
+func (c *Cluster) newManager(id mutex.SiteID, policy resource.Policy) *resource.Manager {
+	return resource.NewManager(resource.Config{
+		Policy: policy,
+		New: func(name string) (resource.Instance, error) {
+			site, err := c.siteFor(name, id)
+			if err != nil {
+				return nil, err
+			}
+			return newResourceNode(name, site, c.sender, c.sink, &c.stage), nil
+		},
+	})
+}
+
+// assignmentOf reads the coterie assignment off a freshly built site set,
+// or nil when the algorithm's sites do not expose their req_set.
+func assignmentOf(sites []mutex.Site) *coterie.Assignment {
+	assign := &coterie.Assignment{N: len(sites), Quorums: make([]coterie.Quorum, len(sites))}
+	for i, s := range sites {
+		q, ok := s.(interface{ Quorum() coterie.Quorum })
+		if !ok {
+			return nil
+		}
+		assign.Quorums[i] = q.Quorum()
+	}
+	return assign
+}
+
+func siteIDRange(n int) []mutex.SiteID {
+	ids := make([]mutex.SiteID, n)
+	for i := range ids {
+		ids[i] = mutex.SiteID(i)
+	}
+	return ids
+}
+
+// stagedSite is the probe for a machine's current membership stage tag.
+type stagedSite interface{ MembershipStage() uint64 }
+
 // siteFor hands out site id's machine for a resource, building the
-// resource's full site set on first use so all N managers share one
-// coherent coterie assignment per resource.
+// resource's full site set on first use so all managers share one coherent
+// coterie assignment per resource. Sets are built for the membership in
+// force at build time, extended when the cluster has grown past them, and
+// each handed-out machine is normalized to the current membership stage —
+// a machine that sat unwired in a set while a reconfiguration advanced is
+// still idle, so the swap is a plain req_set replacement.
 func (c *Cluster) siteFor(name string, id mutex.SiteID) (mutex.Site, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	live := c.liveMembershipLocked()
 	set, ok := c.siteSets[name]
 	if !ok {
 		var err error
-		set, err = c.alg.NewSites(c.n)
+		set, err = c.buildSitesLocked(live)
 		if err != nil {
-			return nil, fmt.Errorf("transport: build sites: %w", err)
+			return nil, err
 		}
 		c.siteSets[name] = set
 	}
-	return set[id], nil
+	if int(id) >= len(set) {
+		// The cluster grew past this resource's set: build the tail
+		// machines at the current membership and graft them on.
+		fresh, err := c.buildSitesLocked(live)
+		if err != nil {
+			return nil, err
+		}
+		if int(id) >= len(fresh) {
+			return nil, fmt.Errorf("transport: site %d out of range for resource %q", id, name)
+		}
+		set = append(set, fresh[len(set):]...)
+		c.siteSets[name] = set
+	}
+	site := set[id]
+	if live.stage != 0 {
+		if st, ok := site.(stagedSite); !ok || st.MembershipStage() != live.stage {
+			rc, ok := site.(mutex.Reconfigurable)
+			if !ok {
+				return nil, fmt.Errorf("transport: site %d of resource %q cannot adopt membership stage %d", id, name, live.stage)
+			}
+			rc.SetMembership(live.n, live.quorum(id), live.avoid(id), live.stage)
+		}
+	}
+	return site, nil
+}
+
+// liveMembership describes the membership new or unwired machines must
+// adopt: the live system size, per-site req_sets, and §6 avoiding rules,
+// tagged with the current stage. stage 0 means the cluster has never
+// reconfigured and machines are used as the algorithm built them.
+type liveMembership struct {
+	n      int
+	stage  uint64
+	quorum func(id mutex.SiteID) []mutex.SiteID
+	avoid  func(id mutex.SiteID) func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool)
+}
+
+func (c *Cluster) liveMembershipLocked() liveMembership {
+	if h := c.handover; h != nil {
+		return liveMembership{
+			n:      h.JointN(),
+			stage:  c.stage.Load(),
+			quorum: func(id mutex.SiteID) []mutex.SiteID { return []mutex.SiteID(h.JointQuorum(id)) },
+			avoid: func(id mutex.SiteID) func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+				return jointAvoidFunc(h, id)
+			},
+		}
+	}
+	cfg, cons := c.cfg, c.cons
+	return liveMembership{
+		n:      cfg.N(),
+		stage:  c.stage.Load(),
+		quorum: func(id mutex.SiteID) []mutex.SiteID { return []mutex.SiteID(cfg.Coterie.Quorum(id)) },
+		avoid: func(id mutex.SiteID) func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+			return stableAvoidFunc(cons, cfg.N(), id)
+		},
+	}
+}
+
+// buildSitesLocked builds a fresh full site set for the current membership:
+// the algorithm's machines at the live site count. Req_set normalization to
+// the live membership happens in siteFor when a machine is handed out.
+func (c *Cluster) buildSitesLocked(live liveMembership) ([]mutex.Site, error) {
+	set, err := c.alg.NewSites(live.n)
+	if err != nil {
+		return nil, fmt.Errorf("transport: build sites: %w", err)
+	}
+	return set, nil
+}
+
+// jointAvoidFunc is the §6 avoiding rule during a handover: rebuild as the
+// union of an old- and a new-coterie quorum so the replacement stays joint.
+func jointAvoidFunc(h *membership.Handover, id mutex.SiteID) func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+	return func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+		q, err := h.JointAvoiding(id, down)
+		if err != nil {
+			return nil, false
+		}
+		return []mutex.SiteID(q), true
+	}
+}
+
+// stableAvoidFunc is the §6 avoiding rule of a stable configuration: the
+// construction's QuorumAvoiding at the configuration's size. A nil
+// construction disables rebuilds (safety over progress).
+func stableAvoidFunc(cons coterie.Construction, n int, id mutex.SiteID) func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+	if cons == nil {
+		return nil
+	}
+	return func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool) {
+		q, err := cons.QuorumAvoiding(n, id, down)
+		if err != nil {
+			return nil, false
+		}
+		return []mutex.SiteID(q), true
+	}
 }
 
 // Snapshot returns the aggregated live metrics over every resource. ok is
@@ -278,7 +448,7 @@ func (c *Cluster) SnapshotResource(name string) (snap obs.Snapshot, ok bool) {
 func (c *Cluster) Lock(id mutex.SiteID, name string) (*resource.Lock, error) {
 	mgr := c.manager(id)
 	if mgr == nil {
-		return nil, fmt.Errorf("transport: site %d out of range 0..%d", id, c.n-1)
+		return nil, fmt.Errorf("transport: site %d out of range 0..%d", id, c.N()-1)
 	}
 	return mgr.Lock(name)
 }
@@ -288,7 +458,7 @@ func (c *Cluster) Lock(id mutex.SiteID, name string) (*resource.Lock, error) {
 func (c *Cluster) Resources() []string {
 	seen := make(map[string]bool)
 	var out []string
-	for _, mgr := range c.managers {
+	for _, mgr := range c.members.Load().managers {
 		for _, name := range mgr.Resources() {
 			if !seen[name] {
 				seen[name] = true
@@ -303,14 +473,24 @@ func (c *Cluster) Resources() []string {
 // Node returns the node hosting the given site's default resource — the
 // legacy single-mutex interface, now a shim over Lock's machinery.
 func (c *Cluster) Node(id mutex.SiteID) *Node {
-	if int(id) < 0 || int(id) >= len(c.nodes) {
+	view := c.members.Load()
+	if int(id) < 0 || int(id) >= len(view.nodes) {
 		return nil
 	}
-	return c.nodes[id]
+	return view.nodes[id]
 }
 
-// N returns the number of sites.
-func (c *Cluster) N() int { return c.n }
+// N returns the current number of sites. It changes when Reconfigure grows
+// or shrinks the cluster.
+func (c *Cluster) N() int { return len(c.members.Load().managers) }
+
+// Epoch returns the cluster's current stable configuration epoch, and
+// Stage the totally ordered membership stage (which additionally exposes
+// the joint phase while a reconfiguration is in flight).
+func (c *Cluster) Epoch() membership.Epoch { return c.Stage().Epoch() }
+
+// Stage returns the cluster's current membership stage.
+func (c *Cluster) Stage() membership.Stage { return membership.Stage(c.stage.Load()) }
 
 // Chaos returns the cluster's fault-injecting fabric, or nil when the
 // cluster was built without a chaos plan.
@@ -337,7 +517,7 @@ func (c *Cluster) SetDeliveryHook(hook func(env mutex.Envelope, dup bool)) {
 // the owning node's loop goroutine, so the dump is safe under live traffic.
 func (c *Cluster) DumpState() string {
 	var b strings.Builder
-	for _, mgr := range c.managers {
+	for _, mgr := range c.members.Load().managers {
 		if mgr == nil {
 			continue
 		}
@@ -357,10 +537,11 @@ func (c *Cluster) DumpState() string {
 }
 
 func (c *Cluster) manager(id mutex.SiteID) *resource.Manager {
-	if int(id) < 0 || int(id) >= len(c.managers) {
+	view := c.members.Load()
+	if int(id) < 0 || int(id) >= len(view.managers) {
 		return nil
 	}
-	return c.managers[id]
+	return view.managers[id]
 }
 
 // Close stops every instance of every resource and waits for their loops to
@@ -373,7 +554,7 @@ func (c *Cluster) Close() {
 		c.chaosWG.Wait()
 		c.chaosStop = nil
 	}
-	for _, mgr := range c.managers {
+	for _, mgr := range c.members.Load().managers {
 		if mgr != nil {
 			mgr.Close()
 		}

@@ -25,6 +25,9 @@ var (
 	// ErrNotHeld is returned by Release when the site does not hold the
 	// critical section — a release without a matching successful acquire.
 	ErrNotHeld = errors.New("transport: release without a held critical section")
+	// ErrNotReconfigurable is returned by Reconfigure when the hosted
+	// algorithm does not implement mutex.Reconfigurable.
+	ErrNotReconfigurable = errors.New("transport: algorithm does not support membership reconfiguration")
 )
 
 // epoch anchors the live drivers' event timestamps: monotonic nanoseconds
@@ -105,11 +108,13 @@ type Node struct {
 	acquireC chan chan error
 	releaseC chan chan error
 	dumpC    chan chan string
+	ctrlC    chan func() // membership control, run on the loop goroutine
 	stopOnce sync.Once
 	stopC    chan struct{}
 	doneC    chan struct{}
 
-	waiter chan error // pending Acquire responder, loop-owned
+	waiter   chan error // pending Acquire responder, loop-owned
+	retiring bool       // loop-owned: departing the cluster, no new acquires
 }
 
 // NewNode starts the node's event loop with observability disabled. sender
@@ -130,6 +135,7 @@ func NewNodeObserved(site mutex.Site, sender Sender, sink obs.Sink) *Node {
 		acquireC: make(chan chan error),
 		releaseC: make(chan chan error),
 		dumpC:    make(chan chan string),
+		ctrlC:    make(chan func()),
 		stopC:    make(chan struct{}),
 		doneC:    make(chan struct{}),
 	}
@@ -258,6 +264,10 @@ func (n *Node) run() {
 				n.apply(n.site.Deliver(env))
 			}
 		case resp := <-n.acquireC:
+			if n.retiring {
+				resp <- ErrClosed
+				continue
+			}
 			if n.waiter != nil || n.site.InCS() || n.site.Pending() {
 				resp <- ErrBusy
 				continue
@@ -289,10 +299,88 @@ func (n *Node) run() {
 			resp <- nil
 		case resp := <-n.dumpC:
 			resp <- siteDebug(n.site)
+		case fn := <-n.ctrlC:
+			fn()
 		case <-n.stopC:
 			return
 		}
 	}
+}
+
+// onLoop runs fn on the node's loop goroutine and waits for it to finish.
+// It returns ErrClosed when the node shut down before (or while) fn could
+// run — the loop exiting between enqueue and execution included.
+func (n *Node) onLoop(fn func()) error {
+	done := make(chan struct{})
+	wrapped := func() {
+		fn()
+		close(done)
+	}
+	select {
+	case n.ctrlC <- wrapped:
+	case <-n.doneC:
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-n.doneC:
+		return ErrClosed
+	}
+}
+
+// Reconfigure installs a new membership on the hosted site (see
+// mutex.Reconfigurable): system size nn, req_set quorum, the §6 avoiding
+// rule for the membership, and the membership stage tag. The reconcile —
+// withdrawals to departing arbiters, requests to joining ones — runs as an
+// ordinary state-machine step on the node's loop; a pending Acquire that
+// completes because the new quorum is already fully granted is woken
+// exactly as any other entry.
+func (n *Node) Reconfigure(nn int, quorum []mutex.SiteID, avoiding func(down map[mutex.SiteID]bool) ([]mutex.SiteID, bool), stage uint64) error {
+	rc, ok := n.site.(mutex.Reconfigurable)
+	if !ok {
+		return ErrNotReconfigurable
+	}
+	return n.onLoop(func() {
+		n.apply(rc.SetMembership(nn, quorum, avoiding, stage))
+	})
+}
+
+// MembershipSettled reports whether the hosted site's effective req_set is
+// the most recently installed one (false while the swap waits behind a held
+// critical section). Closed nodes report settled: a stopped machine can no
+// longer hold a stale quorum. Non-reconfigurable sites are always settled.
+func (n *Node) MembershipSettled() bool {
+	rc, ok := n.site.(mutex.Reconfigurable)
+	if !ok {
+		return true
+	}
+	settled := true
+	if err := n.onLoop(func() { settled = rc.MembershipSettled() }); err != nil {
+		return true
+	}
+	return settled
+}
+
+// BeginRetire marks the node as departing: every subsequent Acquire fails
+// with ErrClosed while in-flight work continues undisturbed. Used by the
+// reconfiguration drain so a leaving site can finish what it holds without
+// taking on new work.
+func (n *Node) BeginRetire() {
+	_ = n.onLoop(func() { n.retiring = true })
+}
+
+// Quiesced reports whether the node has no critical section held, no
+// request in flight, and no waiting acquirer — the drain condition for
+// retiring a departing site. A closed node is quiesced.
+func (n *Node) Quiesced() bool {
+	quiet := true
+	if err := n.onLoop(func() {
+		quiet = !n.site.InCS() && !n.site.Pending() && n.waiter == nil
+	}); err != nil {
+		return true
+	}
+	return quiet
 }
 
 // siteDebug renders one site's protocol state, preferring the rich dump of

@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dqmx/internal/coterie"
+	"dqmx/internal/membership"
+	"dqmx/internal/mutex"
+	"dqmx/internal/resource"
+)
+
+// ErrNoMembership is returned by Reconfigure on a cluster whose algorithm
+// does not expose its coterie (membership tracking needs the epoch-0
+// assignment as the old side of the first handover).
+var ErrNoMembership = errors.New("transport: cluster has no membership state (algorithm does not expose its coterie)")
+
+// Reconfigure moves the live cluster onto the coterie cons builds for n
+// sites, advancing the configuration epoch by one. The switch is a
+// joint-quorum handover (see internal/membership):
+//
+//  1. Joint phase — the handover is published (new protocol instances
+//     adopt joint req_sets from here on), joining sites are started so
+//     their arbiters exist before traffic reaches them, and every live
+//     instance's req_set becomes the union of an old- and a new-coterie
+//     quorum. Any two critical-section entries keep intersecting
+//     throughout, whichever side of the switch granted them.
+//  2. Settle barrier — waits until no site still holds the critical
+//     section under a pure old-epoch req_set (a site inside the CS defers
+//     its swap until Exit).
+//  3. Final phase — the new configuration is published and every surviving
+//     instance's req_set becomes its pure new-coterie quorum.
+//  4. Drain & retire — departing sites stop accepting acquires, finish
+//     what they hold, and are then shut down and dropped from the roster.
+//
+// Reconfigure blocks until the switch completes or ctx is done. Returning
+// with ctx's error leaves the cluster in whatever phase it reached — every
+// phase is safe indefinitely (joint req_sets intersect both coteries), and
+// a retry with the same target resumes the switch. Reconfigurations are
+// serialized; concurrent calls queue.
+func (c *Cluster) Reconfigure(ctx context.Context, cons coterie.Construction, n int) error {
+	if cons == nil {
+		return errors.New("transport: Reconfigure requires a coterie construction")
+	}
+	if n < 1 {
+		return fmt.Errorf("transport: Reconfigure to %d sites", n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+
+	c.mu.Lock()
+	old := c.cfg
+	oldCons := c.cons
+	var probe mutex.Site
+	if set := c.siteSets[resource.Default]; len(set) > 0 {
+		probe = set[0]
+	}
+	c.mu.Unlock()
+	if old.Coterie == nil {
+		return ErrNoMembership
+	}
+	if _, ok := probe.(mutex.Reconfigurable); !ok {
+		return ErrNotReconfigurable
+	}
+
+	target, err := membership.NewConfig(old.Epoch+1, cons, n)
+	if err != nil {
+		return err
+	}
+	h, err := membership.PlanHandover(old, target)
+	if err != nil {
+		return err
+	}
+	h.OldCons, h.NewCons = oldCons, cons
+	if err := h.Validate(); err != nil {
+		return err
+	}
+
+	// Phase 1: joint.
+	c.mu.Lock()
+	c.handover = h
+	c.stage.Store(uint64(membership.JointStage(old.Epoch)))
+	joint := c.liveMembershipLocked()
+	c.mu.Unlock()
+	if h.JointN() > c.N() {
+		if err := c.grow(h.JointN()); err != nil {
+			return err
+		}
+	}
+	if err := c.sweepMembership(ctx, h.JointN(), joint); err != nil {
+		return err
+	}
+
+	// Phase 2: settle barrier.
+	if err := c.awaitSettled(ctx, h.JointN()); err != nil {
+		return err
+	}
+
+	// Phase 3: final.
+	c.mu.Lock()
+	c.cfg = target
+	c.cons = cons
+	c.handover = nil
+	c.stage.Store(uint64(membership.StableStage(target.Epoch)))
+	final := c.liveMembershipLocked()
+	c.mu.Unlock()
+	if err := c.sweepMembership(ctx, target.N(), final); err != nil {
+		return err
+	}
+
+	// Phase 4: drain and retire departing sites.
+	if target.N() < h.JointN() {
+		if err := c.retire(ctx, target.N(), h.JointN()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grow extends the roster to `to` sites: new managers (and their eager
+// default-resource nodes) are built under the published membership, then a
+// new member view is swapped in. Joining sites are fully wired before any
+// survivor learns of them, so their arbiters never miss traffic.
+func (c *Cluster) grow(to int) error {
+	view := c.members.Load()
+	next := &memberView{
+		managers: append(append([]*resource.Manager(nil), view.managers...), make([]*resource.Manager, to-len(view.managers))...),
+		nodes:    append(append([]*Node(nil), view.nodes...), make([]*Node, to-len(view.nodes))...),
+	}
+	for i := len(view.managers); i < to; i++ {
+		id := mutex.SiteID(i)
+		if c.rel != nil {
+			// The ID may have belonged to a site retired (or crashed) under
+			// an earlier configuration; the joining site starts fresh streams.
+			c.rel.ReviveSite(id)
+		}
+		mgr := c.newManager(id, c.policy)
+		inst, err := mgr.Instance(resource.Default)
+		if err != nil {
+			mgr.Close()
+			return fmt.Errorf("transport: start joining site %d: %w", id, err)
+		}
+		next.managers[i] = mgr
+		next.nodes[i] = inst.(*Node)
+	}
+	c.members.Store(next)
+	return nil
+}
+
+// sweepMembership installs the live membership on every instantiated
+// protocol instance of sites 0..count-1. Instances that closed mid-sweep
+// (a crash, a racing shutdown) are skipped: a stopped machine holds no
+// quorum. Instances created concurrently adopt the membership at birth via
+// siteFor, so the sweep and the lazy path cannot miss between them.
+func (c *Cluster) sweepMembership(ctx context.Context, count int, live liveMembership) error {
+	for i := 0; i < count; i++ {
+		id := mutex.SiteID(i)
+		mgr := c.manager(id)
+		if mgr == nil {
+			continue
+		}
+		var firstErr error
+		mgr.Each(func(name string, inst resource.Instance) {
+			node, ok := inst.(*Node)
+			if !ok {
+				return
+			}
+			err := node.Reconfigure(live.n, live.quorum(id), live.avoid(id), live.stage)
+			if err != nil && !errors.Is(err, ErrClosed) && firstErr == nil {
+				firstErr = fmt.Errorf("transport: reconfigure site %d resource %q: %w", id, name, err)
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitSettled polls until every instance of sites 0..count-1 runs on its
+// most recently installed req_set — i.e. no critical section is still held
+// under a pre-handover quorum — or ctx is done.
+func (c *Cluster) awaitSettled(ctx context.Context, count int) error {
+	for {
+		settled := true
+		for i := 0; i < count && settled; i++ {
+			mgr := c.manager(mutex.SiteID(i))
+			if mgr == nil {
+				continue
+			}
+			mgr.Each(func(name string, inst resource.Instance) {
+				node, ok := inst.(*Node)
+				if ok && !node.MembershipSettled() {
+					settled = false
+				}
+			})
+		}
+		if settled {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// retire drains and shuts down sites from..to-1: new acquires at them fail
+// immediately, in-flight work completes (the §3.1 release path hands their
+// locks to the next waiters), then their managers close, their reliability
+// streams are severed, and the roster shrinks. Survivors already excluded
+// them from every req_set during the final sweep.
+func (c *Cluster) retire(ctx context.Context, from, to int) error {
+	for i := from; i < to; i++ {
+		if mgr := c.manager(mutex.SiteID(i)); mgr != nil {
+			mgr.Each(func(name string, inst resource.Instance) {
+				if node, ok := inst.(*Node); ok {
+					node.BeginRetire()
+				}
+			})
+		}
+	}
+	for {
+		quiet := true
+		for i := from; i < to && quiet; i++ {
+			mgr := c.manager(mutex.SiteID(i))
+			if mgr == nil {
+				continue
+			}
+			mgr.Each(func(name string, inst resource.Instance) {
+				if node, ok := inst.(*Node); ok && !node.Quiesced() {
+					quiet = false
+				}
+			})
+		}
+		if quiet {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Quiesced covers the protocol machines, not the wire: a departing
+	// site's final release or transfer may still be unacknowledged in the
+	// reliability sublayer. Severing its streams now would drop that message
+	// and strand the lock it hands over, so wait until every departing
+	// site's outbound streams drain.
+	if c.rel != nil {
+		for {
+			drained := true
+			for i := from; i < to && drained; i++ {
+				drained = c.rel.Drained(mutex.SiteID(i))
+			}
+			if drained {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	view := c.members.Load()
+	next := &memberView{
+		managers: append([]*resource.Manager(nil), view.managers[:from]...),
+		nodes:    append([]*Node(nil), view.nodes[:from]...),
+	}
+	c.members.Store(next)
+	for i := from; i < to && i < len(view.managers); i++ {
+		view.managers[i].Close()
+		if c.rel != nil {
+			c.rel.PeerFailed(mutex.SiteID(i))
+		}
+	}
+	return nil
+}

@@ -179,6 +179,32 @@ func (r *reliable) PeerFailed(id mutex.SiteID) {
 	}
 }
 
+// Drained reports whether every outbound stream of the given site has been
+// fully acknowledged — no envelope it sent is still waiting to land. The
+// reconfiguration drain polls this before retiring a departing site:
+// tearing the streams down earlier would drop the site's final release and
+// transfer messages in flight and strand the locks they hand over.
+func (r *reliable) Drained(id mutex.SiteID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for sid, out := range r.out {
+		if sid.from == id && len(out.unacked) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReviveSite clears the dead mark of a site ID so it can be reused by a
+// later configuration (a grow after a shrink, or a crash-replace restart).
+// Streams were already torn down at death, so the revived site starts from
+// fresh sequence state on both sides.
+func (r *reliable) ReviveSite(id mutex.SiteID) {
+	r.mu.Lock()
+	delete(r.dead, id)
+	r.mu.Unlock()
+}
+
 // isTransportMsg reports whether the payload is transport-level (unsequenced).
 func isTransportMsg(m mutex.Message) bool {
 	if m == nil {

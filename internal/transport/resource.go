@@ -1,22 +1,34 @@
 package transport
 
 import (
+	"sync/atomic"
+
 	"dqmx/internal/mutex"
 	"dqmx/internal/obs"
 	"dqmx/internal/resource"
 )
 
-// resourceSender stamps the owning resource's name onto every envelope a
-// per-resource node sends. State machines never see resource names; this
-// wrapper is what scopes their traffic to one lock.
+// resourceSender stamps the owning resource's name — and, when the hosting
+// transport tracks cluster membership, the current membership stage — onto
+// every envelope a per-resource node sends. State machines never see either
+// field; this wrapper is what scopes their traffic to one lock and one
+// configuration epoch.
 type resourceSender struct {
 	name  string
 	under Sender
+	stage *atomic.Uint64 // nil when the transport has no membership state
+}
+
+func (s resourceSender) stamp(env *mutex.Envelope) {
+	env.Resource = s.name
+	if s.stage != nil {
+		env.Epoch = s.stage.Load()
+	}
 }
 
 // Send implements Sender.
 func (s resourceSender) Send(env mutex.Envelope) error {
-	env.Resource = s.name
+	s.stamp(&env)
 	return s.under.Send(env)
 }
 
@@ -24,7 +36,7 @@ func (s resourceSender) Send(env mutex.Envelope) error {
 // the underlying transport does not batch.
 func (s resourceSender) SendBatch(envs []mutex.Envelope) error {
 	for i := range envs {
-		envs[i].Resource = s.name
+		s.stamp(&envs[i])
 	}
 	if bs, ok := s.under.(BatchSender); ok {
 		return bs.SendBatch(envs)
@@ -52,8 +64,9 @@ func resourceSink(name string, sink obs.Sink) obs.Sink {
 }
 
 // newResourceNode builds the per-resource protocol node: the site machine
-// wrapped with a resource-stamping sender and sink. It is the Config.New
-// used by both the in-process cluster and the TCP peer.
-func newResourceNode(name string, site mutex.Site, under Sender, sink obs.Sink) *Node {
-	return NewNodeObserved(site, resourceSender{name: name, under: under}, resourceSink(name, sink))
+// wrapped with a resource- and stage-stamping sender and a resource-stamping
+// sink. It is the Config.New used by both the in-process cluster and the
+// TCP peer. stage may be nil (no membership tracking).
+func newResourceNode(name string, site mutex.Site, under Sender, sink obs.Sink, stage *atomic.Uint64) *Node {
+	return NewNodeObserved(site, resourceSender{name: name, under: under, stage: stage}, resourceSink(name, sink))
 }

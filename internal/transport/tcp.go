@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dqmx/internal/mutex"
@@ -23,8 +24,13 @@ type TCPConfig struct {
 	Factory func(name string) (mutex.Site, error)
 	// ListenAddr is the address to listen on for inbound protocol traffic.
 	ListenAddr string
-	// Peers maps every other site to its listen address.
+	// Peers maps every other site to its listen address. The book may hold
+	// more sites than the current coterie uses: a deployment that plans to
+	// grow lists the joiners' addresses from the start.
 	Peers map[mutex.SiteID]string
+	// N is the protocol cluster size. Zero means len(Peers)+1 — right only
+	// when the address book holds exactly the current members.
+	N int
 	// Metrics, when non-nil, aggregates this peer's events.
 	Metrics *obs.Metrics
 	// Observer, when non-nil, receives the raw event stream.
@@ -55,11 +61,21 @@ type TCPPeer struct {
 	metrics  *obs.Metrics // nil unless metrics collection was requested
 	wire     WireConfig   // resolved byte-layer configuration
 
+	// stage is the membership stage stamped onto every outbound envelope
+	// (see internal/membership). It starts at the epoch-0 stable stage and
+	// advances via ApplyMembership when an operator drives a handover.
+	// stageHint tracks the newest stage heard from other peers; memberN the
+	// cluster size the current stage was applied with.
+	stage     atomic.Uint64
+	stageHint atomic.Uint64
+	memberN   atomic.Int64
+
 	mu      sync.Mutex
 	outs    map[mutex.SiteID]*outbound
 	inbound map[net.Conn]bool
-	hbSink  *Detector                     // set by StartDetector; receives heartbeat traffic
-	dropOut func(env mutex.Envelope) bool // test hook: writer-side deterministic frame drops
+	hbSink    *Detector                     // set by StartDetector; receives heartbeat traffic
+	dropOut   func(env mutex.Envelope) bool // test hook: writer-side deterministic frame drops
+	staleTold map[mutex.SiteID]uint64       // highest stage each peer was told it lags behind
 
 	stopOnce sync.Once
 	stopC    chan struct{}
@@ -119,6 +135,11 @@ func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
 	for id, addr := range cfg.Peers {
 		p.peers[id] = addr
 	}
+	if cfg.N > 0 {
+		p.memberN.Store(int64(cfg.N))
+	} else {
+		p.memberN.Store(int64(len(cfg.Peers) + 1))
+	}
 	combined := cfg.Observer
 	if cfg.Metrics != nil {
 		combined = obs.Tee(cfg.Metrics.Observe, cfg.Observer)
@@ -134,7 +155,7 @@ func NewTCPPeerConfig(cfg TCPConfig) (*TCPPeer, error) {
 			if err != nil {
 				return nil, err
 			}
-			return newResourceNode(name, site, p, combined), nil
+			return newResourceNode(name, site, p, combined, &p.stage), nil
 		},
 	})
 	inst, err := p.manager.Instance(resource.Default)
@@ -536,9 +557,16 @@ func (p *TCPPeer) readLoop(conn net.Conn) {
 
 // dispatch consumes one exactly-once, in-order envelope from the reliability
 // sublayer: heartbeats feed the failure detector, ack-only frames are
-// already fully consumed, and protocol traffic routes to the resource's
-// instance (instantiated lazily; an envelope for a name this peer cannot
-// build is dropped).
+// already fully consumed, stage announcements fold into the membership hint,
+// and protocol traffic routes to the resource's instance (instantiated
+// lazily; an envelope for a name this peer cannot build is dropped).
+//
+// Frames stamped with a stale membership stage are still delivered — during
+// a joint handover phase both stages legitimately coexist, and the protocol
+// layer is stage-agnostic (safety rests on quorum intersection, which the
+// joint req_sets preserve) — but the sender is answered with the current
+// configuration so a process that slept through a reconfiguration learns it
+// is behind.
 func (p *TCPPeer) dispatch(env mutex.Envelope) error {
 	if hb, ok := env.Msg.(heartbeatMsg); ok {
 		p.mu.Lock()
@@ -549,8 +577,17 @@ func (p *TCPPeer) dispatch(env mutex.Envelope) error {
 		}
 		return nil
 	}
+	if cm, ok := env.Msg.(configMsg); ok {
+		p.noteRemoteStage(cm.Stage)
+		return nil
+	}
 	if env.Msg == nil {
 		return nil
+	}
+	if cur := p.stage.Load(); env.Epoch < cur {
+		p.answerStale(env.From, cur)
+	} else if env.Epoch > cur {
+		p.noteRemoteStage(env.Epoch)
 	}
 	return p.manager.Inject(env)
 }

@@ -21,6 +21,7 @@ import (
 //	  varint   To (zigzag)
 //	  uvarint  Seq
 //	  uvarint  Ack
+//	  uvarint  Epoch (membership stage; 0 until a reconfiguration)
 //	  byte     message tag (0 = nil payload: a standalone ack frame)
 //	  ...      the registered message encoding for that tag
 //
@@ -95,6 +96,7 @@ func (e *binaryEncoder) Encode(env mutex.Envelope) error {
 	b = AppendSite(b, env.To)
 	b = AppendUint(b, env.Seq)
 	b = AppendUint(b, env.Ack)
+	b = AppendUint(b, env.Epoch)
 	b, err = appendMessage(b, env.Msg)
 	*e.buf = b // keep the grown backing array either way
 	if err != nil {
@@ -184,6 +186,7 @@ func (d *binaryDecoder) Decode() (mutex.Envelope, error) {
 	env.To = r.Site()
 	env.Seq = r.Uint()
 	env.Ack = r.Uint()
+	env.Epoch = r.Uint()
 	msg, err := decodeMessage(r)
 	if err != nil {
 		return mutex.Envelope{}, err

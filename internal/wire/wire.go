@@ -185,6 +185,10 @@ const (
 	TagHeartbeat byte = 8
 	// tagFailure carries mutex.FailureMsg (§6 crash notifications).
 	tagFailure byte = 9
+	// TagConfig is claimed by internal/transport for membership-stage
+	// announcements (the answer a peer sends when it receives a frame
+	// stamped with a stale configuration epoch).
+	TagConfig byte = 10
 )
 
 func init() {

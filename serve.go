@@ -41,6 +41,13 @@ var (
 	// ErrSessionClosed is returned by operations on a session after Close
 	// or Abandon.
 	ErrSessionClosed = session.ErrClientClosed
+	// ErrOverloaded means an arbiter refused work for backpressure: its
+	// session cap (ServeConfig.MaxSessions) or per-session in-flight
+	// acquire cap (ServeConfig.MaxPending) is full. Session acquires retry
+	// with exponential backoff on their own; the error surfaces when the
+	// caller's context runs out first, or from Dial when every arbiter in
+	// the chain is saturated.
+	ErrOverloaded = session.ErrOverloaded
 )
 
 // Session-tier event types delivered to an Observer. Session events are
@@ -51,6 +58,7 @@ const (
 	EventSessionExpire = obs.EventSessionExpire
 	EventSessionClose  = obs.EventSessionClose
 	EventLockReclaim   = obs.EventLockReclaim
+	EventOverload      = obs.EventOverload
 )
 
 // SessionServerStats is a point-in-time copy of an arbiter's session
@@ -77,6 +85,13 @@ type ServeConfig struct {
 	// protocol within Lease plus one release handoff.
 	Lease    time.Duration
 	MaxLease time.Duration
+	// MaxSessions caps concurrent client sessions at this arbiter (default
+	// 1024); MaxPending caps in-flight acquires per session (default 128).
+	// Work past either cap is refused with ErrOverloaded — clients back off
+	// and retry — and counted in MetricsSnapshot.Sessions.Overloaded.
+	// Reattaches to live sessions are always admitted.
+	MaxSessions int
+	MaxPending  int
 	// Detect is the arbiter-to-arbiter failure-detection probe period.
 	// Arbiters heartbeat each other and a peer silent past DetectTimeout
 	// (default 4 × Detect) is announced to the §6 recovery protocol, which
@@ -121,13 +136,15 @@ func Serve(cfg ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("dqmx: client listen %s: %w", cfg.ClientListen, err)
 	}
 	sess, err := session.NewServer(session.ServerConfig{
-		Site:     cfg.ID,
-		Locks:    peer,
-		Listener: ln,
-		Codec:    string(cfg.Options.Wire.Codec),
-		Lease:    cfg.Lease,
-		MaxLease: cfg.MaxLease,
-		Sink:     sessionSink(col, cfg.Options.observer()),
+		Site:        cfg.ID,
+		Locks:       peer,
+		Listener:    ln,
+		Codec:       string(cfg.Options.Wire.Codec),
+		Lease:       cfg.Lease,
+		MaxLease:    cfg.MaxLease,
+		MaxSessions: cfg.MaxSessions,
+		MaxPending:  cfg.MaxPending,
+		Sink:        sessionSink(col, cfg.Options.observer()),
 	})
 	if err != nil {
 		ln.Close()
@@ -228,6 +245,17 @@ type DialConfig struct {
 	FailoverWindow time.Duration
 	// Resources bounds lock names client-side, mirroring the arbiters'.
 	Resources ResourcePolicy
+	// SafetyMargin arms the lease-safety watchdog: while the session holds
+	// any lock and its conservative lease deadline (Session.LeaseDeadline)
+	// is closer than this margin, OnLeaseWarning fires — the signal that
+	// in-flight work risks outliving the lease and having its lock
+	// reclaimed mid-flight. Zero disables the watchdog.
+	SafetyMargin time.Duration
+	// OnLeaseWarning receives lease-safety warnings with the conservative
+	// lease deadline and the time remaining until it (non-positive when
+	// already past). Called from the session's keepalive goroutine at most
+	// once per keepalive interval; it must not block.
+	OnLeaseWarning func(deadline time.Time, remaining time.Duration)
 }
 
 // Dial attaches a leased session to the first reachable arbiter and fails
@@ -244,5 +272,7 @@ func Dial(ctx context.Context, addrs []string, cfg DialConfig) (*Session, error)
 		DialTimeout:    cfg.DialTimeout,
 		FailoverWindow: cfg.FailoverWindow,
 		Policy:         cfg.Resources,
+		SafetyMargin:   cfg.SafetyMargin,
+		OnLeaseWarning: cfg.OnLeaseWarning,
 	})
 }
